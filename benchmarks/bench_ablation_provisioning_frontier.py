@@ -1,0 +1,56 @@
+"""Ablation: static over-provisioning vs. dynamic capacity.
+
+The paper's core argument as one curve: each static operating point
+trades recovered capacity against manufactured failures (tightening the
+margin = Figure 3a's blow-up); the dynamic point gets the top of the
+capacity axis at the bottom of the failure axis.
+"""
+
+from repro.analysis.margins import margin_report, static_provisioning_frontier
+from repro.analysis.report import render_series
+from benchmarks.conftest import bench_backbone_config
+
+
+def test_ablation_provisioning_frontier(benchmark, backbone_summaries):
+    years = bench_backbone_config().years
+
+    def run():
+        return (
+            margin_report(backbone_summaries),
+            static_provisioning_frontier(backbone_summaries, years=years),
+        )
+
+    margins, frontier = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (
+            p.label,
+            p.total_capacity_gbps / 1000.0,
+            p.capacity_gain_ratio,
+            p.failures_per_link_year,
+        )
+        for p in frontier
+    ]
+    print("\nAblation — the provisioning frontier")
+    print(f"  mean provisioned margin: {margins.mean_margin_db:.1f} dB; "
+          f"stranded: {margins.total_stranded_tbps:.1f} Tbps")
+    print(render_series("  capacity vs failures", rows,
+                        header=["operating pt", "Tbps", "gain x",
+                                "fail/link/yr"]))
+
+    dynamic = frontier[-1]
+    static = [p for p in frontier if p.label.startswith("static")]
+    benchmark.extra_info["dynamic_gain_ratio"] = round(
+        dynamic.capacity_gain_ratio, 3
+    )
+
+    # static: capacity and failures rise together
+    caps = [p.total_capacity_gbps for p in static]
+    fails = [p.failures_per_link_year for p in static]
+    assert caps == sorted(caps)
+    assert fails == sorted(fails)
+    # dynamic dominates: top capacity at bottom failure rate
+    assert dynamic.total_capacity_gbps >= max(caps) - 1e-6
+    assert dynamic.failures_per_link_year <= min(fails) + 1e-9
+    # the gain is the paper's 75-100% band
+    assert 1.5 <= dynamic.capacity_gain_ratio <= 2.0

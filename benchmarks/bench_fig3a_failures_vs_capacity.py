@@ -1,0 +1,45 @@
+"""Figure 3a: failure counts vs. configured capacity on a premium cable.
+
+Paper: raising capacity up to 175 Gbps does not increase failures, but
+some links would fail often at 200 Gbps.
+"""
+
+import numpy as np
+
+from repro.analysis import figures
+from repro.analysis.report import render_series
+
+
+def test_fig3a_failures_vs_capacity(benchmark):
+    data = benchmark.pedantic(
+        lambda: figures.fig3a_failures_vs_capacity(years=2.5),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            f"{c:.0f}G",
+            data.mean_failures(c),
+            float(np.median(data.failures[c])),
+            data.max_failures(c),
+            int(np.sum(data.failures[c] > 10)),
+        )
+        for c in data.capacities_gbps
+    ]
+    print("\nFigure 3a — failures per link at each capacity (40 links, 2.5 y)")
+    print(
+        render_series(
+            "  one row per capacity",
+            rows,
+            header=["capacity", "mean", "median", "max", "links>10"],
+        )
+    )
+
+    benchmark.extra_info["max_failures_175"] = data.max_failures(175.0)
+    benchmark.extra_info["max_failures_200"] = data.max_failures(200.0)
+
+    # flat to 175 ...
+    assert data.mean_failures(175.0) <= data.mean_failures(100.0) + 5
+    # ... explodes for some links at 200 (the paper's log-scale outliers)
+    assert data.max_failures(200.0) > 3 * data.max_failures(175.0)
+    assert np.sum(data.failures[200.0] > 10) >= 1

@@ -1,0 +1,43 @@
+"""Figure 3b: duration of link failures at each configured capacity.
+
+Paper: failures last several hours at every capacity, which is why
+operators cannot simply run links hotter without dynamic adaptation.
+"""
+
+from repro.analysis import figures
+from repro.analysis.report import render_series
+
+
+def test_fig3b_failure_durations(benchmark, backbone_summaries):
+    data = benchmark.pedantic(
+        lambda: figures.fig3b_failure_durations(backbone_summaries),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            f"{c:.0f}G",
+            data.durations_h[c].size,
+            data.median_duration_h(c),
+            data.mean_duration_h(c),
+        )
+        for c in data.capacities_gbps
+    ]
+    print("\nFigure 3b — failure durations per capacity (feasible links only)")
+    print(
+        render_series(
+            "  one row per capacity",
+            rows,
+            header=["capacity", "episodes", "median h", "mean h"],
+        )
+    )
+
+    for c in data.capacities_gbps:
+        benchmark.extra_info[f"mean_h_{int(c)}"] = round(data.mean_duration_h(c), 2)
+
+    # failures last hours at every capacity (paper: several hours).
+    # high rungs include brief noise-crossings on marginal links, which
+    # drag the mean down — hence the generous lower bound.
+    for c in data.capacities_gbps:
+        if data.durations_h[c].size >= 10:
+            assert 0.5 <= data.mean_duration_h(c) <= 24.0

@@ -1,0 +1,35 @@
+"""Figure 5: constellation diagrams at 100/150/200 Gbps.
+
+Paper: clean QPSK / 8QAM / 16QAM clouds captured from the testbed —
+the qualitative check that every rate closes on the evaluation board.
+"""
+
+import numpy as np
+
+from repro.analysis import figures
+
+
+def test_fig5_constellations(benchmark):
+    clouds = benchmark.pedantic(
+        lambda: figures.fig5_constellations(n_symbols=2000),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 5 — received constellations on the testbed link")
+    names = {100.0: "QPSK", 150.0: "8QAM", 200.0: "16QAM"}
+    for capacity, sample in sorted(clouds.items()):
+        n_clusters = len(np.unique(np.round(sample.ideal, 6)))
+        print(
+            f"  {capacity:5.0f} Gbps ({names[capacity]:>5}): "
+            f"{n_clusters} constellation points, "
+            f"EVM {sample.evm_percent:4.1f}%, SER {sample.symbol_error_rate:.2e}"
+        )
+        benchmark.extra_info[f"evm_{int(capacity)}"] = round(sample.evm_percent, 2)
+
+    # geometry: the right modulation order at each rate
+    assert len(np.unique(np.round(clouds[100.0].ideal, 6))) == 4
+    assert len(np.unique(np.round(clouds[150.0].ideal, 6))) == 8
+    assert len(np.unique(np.round(clouds[200.0].ideal, 6))) == 16
+    # quality: the short testbed fiber yields error-free clouds
+    for sample in clouds.values():
+        assert sample.symbol_error_rate < 0.01

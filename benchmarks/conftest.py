@@ -1,0 +1,29 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+The measurement-study benches share one synthetic backbone.  The
+default is a reduced-scale corpus (~900 links x 1.5 years) so the whole
+harness runs in minutes; set ``REPRO_BENCH_SCALE=full`` for the paper's
+full ~2,000 links x 2.5 years.
+"""
+
+import os
+
+import pytest
+
+from repro.telemetry.dataset import BackboneConfig, BackboneDataset
+
+
+def bench_backbone_config() -> BackboneConfig:
+    if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full":
+        return BackboneConfig()  # 55 cables x 2.5 years
+    return BackboneConfig(n_cables=24, years=1.5, seed=2017)
+
+
+@pytest.fixture(scope="session")
+def backbone_dataset():
+    return BackboneDataset(bench_backbone_config())
+
+
+@pytest.fixture(scope="session")
+def backbone_summaries(backbone_dataset):
+    return backbone_dataset.summaries()

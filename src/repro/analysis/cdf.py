@@ -1,0 +1,40 @@
+"""Empirical CDF helpers shared by the figure generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def empirical_cdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted sample plus cumulative probabilities.
+
+    Returns ``(x, p)`` with ``p[i]`` the fraction of the sample that is
+    <= ``x[i]`` (the right-continuous step CDF evaluated at the points).
+
+    >>> x, p = empirical_cdf([3.0, 1.0, 2.0, 2.0])
+    >>> x.tolist(), p.tolist()
+    ([1.0, 2.0, 2.0, 3.0], [0.25, 0.5, 0.75, 1.0])
+    """
+    data = np.sort(np.asarray(values, dtype=float).ravel())
+    if data.size == 0:
+        raise ValueError("empty sample")
+    p = np.arange(1, data.size + 1) / data.size
+    return data, p
+
+
+def cdf_at(values, x: float) -> float:
+    """Fraction of the sample <= ``x``."""
+    data = np.asarray(values, dtype=float).ravel()
+    if data.size == 0:
+        raise ValueError("empty sample")
+    return float(np.mean(data <= x))
+
+
+def quantile(values, q: float) -> float:
+    """The ``q``-quantile of the sample (0 <= q <= 1)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    data = np.asarray(values, dtype=float).ravel()
+    if data.size == 0:
+        raise ValueError("empty sample")
+    return float(np.quantile(data, q))

@@ -1,0 +1,144 @@
+"""CSV export of the figure data.
+
+Anyone re-plotting the paper's figures (in a notebook, gnuplot, a
+LaTeX pipeline) wants the raw series, not our renderings.  This module
+writes one tidy CSV per figure into a directory; the CLI exposes it as
+``repro export``.
+
+Formats are deliberately boring: a header row, comma separation, one
+record per row — no index columns, no metadata blocks.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+
+from repro.analysis import figures
+from repro.analysis.cdf import empirical_cdf
+from repro.telemetry.stats import LinkSummary
+
+
+def _write_csv(path: Path, header: Sequence[str], rows) -> Path:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_fig1(outdir: Path, *, years: float, seed: int) -> Path:
+    """fig1.csv: one row per sample, one column per wavelength."""
+    data = figures.fig1_snr_timeseries(years=years, seed=seed)
+    header = ["time_days"] + [str(link_id) for link_id in data.link_ids]
+    rows = (
+        [float(t)] + [float(x) for x in data.snr_db[:, i]]
+        for i, t in enumerate(data.times_days)
+    )
+    return _write_csv(outdir / "fig1_snr_timeseries.csv", header, rows)
+
+
+def export_fig2a(outdir: Path, summaries: Sequence[LinkSummary]) -> Path:
+    """fig2a.csv: the two CDFs, long format."""
+    data = figures.fig2a_snr_variation(summaries)
+    rows = []
+    for metric, values in (
+        ("hdr_width_db", data.hdr_widths_db),
+        ("range_db", data.ranges_db),
+    ):
+        x, p = empirical_cdf(values)
+        rows.extend((metric, float(v), float(q)) for v, q in zip(x, p))
+    return _write_csv(
+        outdir / "fig2a_snr_variation.csv", ["metric", "value_db", "cdf"], rows
+    )
+
+
+def export_fig2b(outdir: Path, summaries: Sequence[LinkSummary]) -> Path:
+    data = figures.fig2b_feasible_capacity(summaries)
+    x, p = empirical_cdf(data.feasible_gbps)
+    rows = ((float(v), float(q)) for v, q in zip(x, p))
+    return _write_csv(
+        outdir / "fig2b_feasible_capacity.csv", ["capacity_gbps", "cdf"], rows
+    )
+
+
+def export_fig3a(outdir: Path, *, years: float, seed: int) -> Path:
+    data = figures.fig3a_failures_vs_capacity(years=years, seed=seed)
+    rows = []
+    for capacity in data.capacities_gbps:
+        for link_index, count in enumerate(data.failures[capacity]):
+            rows.append((float(capacity), link_index, int(count)))
+    return _write_csv(
+        outdir / "fig3a_failures_vs_capacity.csv",
+        ["capacity_gbps", "link_index", "n_failures"],
+        rows,
+    )
+
+
+def export_fig3b(outdir: Path, summaries: Sequence[LinkSummary]) -> Path:
+    data = figures.fig3b_failure_durations(summaries)
+    rows = []
+    for capacity in data.capacities_gbps:
+        for duration in data.durations_h[capacity]:
+            rows.append((float(capacity), float(duration)))
+    return _write_csv(
+        outdir / "fig3b_failure_durations.csv",
+        ["capacity_gbps", "duration_h"],
+        rows,
+    )
+
+
+def export_fig4(outdir: Path, summaries: Sequence[LinkSummary], *, seed: int) -> Path:
+    shares = figures.fig4ab_root_causes(seed=seed)
+    rows = [
+        (cause.label, float(shares.frequency[cause]), float(shares.duration[cause]))
+        for cause in shares.frequency
+    ]
+    _write_csv(
+        outdir / "fig4ab_root_causes.csv",
+        ["root_cause", "frequency_share", "duration_share"],
+        rows,
+    )
+    data = figures.fig4c_failure_snr(summaries)
+    x, p = empirical_cdf(data.min_snrs_db)
+    return _write_csv(
+        outdir / "fig4c_failure_snr.csv",
+        ["min_snr_db", "cdf"],
+        ((float(v), float(q)) for v, q in zip(x, p)),
+    )
+
+
+def export_fig6b(outdir: Path, *, seed: int) -> Path:
+    report = figures.fig6b_modulation_change(seed=seed)
+    rows = [("standard", float(s)) for s in report.standard_downtimes_s]
+    rows += [("efficient", float(s)) for s in report.efficient_downtimes_s]
+    return _write_csv(
+        outdir / "fig6b_modulation_change.csv",
+        ["procedure", "downtime_s"],
+        rows,
+    )
+
+
+def export_all(
+    outdir: str | Path,
+    summaries: Sequence[LinkSummary],
+    *,
+    years: float = 2.5,
+    seed: int = 2017,
+) -> list[Path]:
+    """Write every figure's CSV into ``outdir`` (created if missing)."""
+    if not summaries:
+        raise ValueError("no link summaries")
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    return [
+        export_fig1(outdir, years=years, seed=seed),
+        export_fig2a(outdir, summaries),
+        export_fig2b(outdir, summaries),
+        export_fig3a(outdir, years=years, seed=seed),
+        export_fig3b(outdir, summaries),
+        export_fig4(outdir, summaries, seed=seed),
+        export_fig6b(outdir, seed=seed),
+    ]

@@ -1,0 +1,143 @@
+"""Margin accounting: what static over-provisioning costs.
+
+Section 2.1's deeper argument, made quantitative: operators provision
+SNR margin against the *worst* dip they fear, so the margin sits unused
+almost all the time ("stranded" capacity).  Pushing static thresholds
+tighter recovers capacity but manufactures failures (Figure 3a).  The
+frontier between those two is exactly the curve dynamic capacity
+escapes — it tracks the SNR instead of committing to a point on the
+trade-off.
+
+Inputs are the per-link summaries of the telemetry study; outputs:
+
+* per-link provisioned margin and stranded capacity
+  (:func:`margin_report`),
+* the static capacity-vs-failures frontier
+  (:func:`static_provisioning_frontier`), with the dynamic operating
+  point for contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.optics.modulation import DEFAULT_MODULATIONS, ModulationTable
+from repro.telemetry.stats import LinkSummary
+
+
+@dataclass(frozen=True)
+class MarginReport:
+    """Provisioned-margin statistics across the backbone."""
+
+    margins_db: np.ndarray  # HDR-low minus the configured threshold
+    stranded_gbps: np.ndarray  # headroom the static config wastes
+
+    @property
+    def mean_margin_db(self) -> float:
+        return float(np.mean(self.margins_db))
+
+    @property
+    def total_stranded_tbps(self) -> float:
+        return float(np.sum(self.stranded_gbps)) / 1000.0
+
+    @property
+    def frac_links_over_margined(self) -> float:
+        """Links carrying more than 6 dB of unused margin."""
+        return float(np.mean(self.margins_db > 6.0))
+
+
+def margin_report(
+    summaries: Sequence[LinkSummary],
+    *,
+    table: ModulationTable = DEFAULT_MODULATIONS,
+) -> MarginReport:
+    """Margins and stranded capacity under the static configuration."""
+    if not summaries:
+        raise ValueError("no link summaries")
+    margins = []
+    stranded = []
+    for s in summaries:
+        threshold = table.required_snr(s.configured_capacity_gbps)
+        margins.append(s.hdr.low - threshold)
+        stranded.append(s.capacity_gain_gbps)
+    return MarginReport(
+        margins_db=np.array(margins), stranded_gbps=np.array(stranded)
+    )
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One static operating point: capacity recovered vs. failures paid."""
+
+    label: str
+    total_capacity_gbps: float
+    failures_per_link_year: float
+    #: capacity relative to the all-100G baseline
+    capacity_gain_ratio: float
+
+
+def static_provisioning_frontier(
+    summaries: Sequence[LinkSummary],
+    *,
+    years: float,
+    table: ModulationTable = DEFAULT_MODULATIONS,
+) -> list[FrontierPoint]:
+    """The static capacity/failure trade-off, plus the dynamic point.
+
+    For each rung of the ladder, configure every link at the *fastest
+    rung not exceeding* its feasible capacity capped at that rung
+    (operators would never exceed feasibility on purpose), and charge
+    the link the failures it would see at its assigned rate.  The last
+    point is the dynamic network: feasible capacity everywhere, but
+    only the failures of the *lowest* rung (everything above a 50 Gbps
+    dip becomes a flap).
+
+    ``years`` is the telemetry horizon, used to annualise failures.
+    """
+    if not summaries:
+        raise ValueError("no link summaries")
+    if years <= 0:
+        raise ValueError("years must be positive")
+    baseline_capacity = sum(s.configured_capacity_gbps for s in summaries)
+    points = []
+    for cap_rung in table.capacities_gbps:
+        if cap_rung < summaries[0].configured_capacity_gbps:
+            continue
+        total = 0.0
+        failures = 0
+        for s in summaries:
+            assigned = min(
+                max(s.feasible_capacity_gbps, s.configured_capacity_gbps),
+                cap_rung,
+            )
+            total += assigned
+            failures += s.failures_at(assigned).n_episodes
+        points.append(
+            FrontierPoint(
+                label=f"static@{cap_rung:g}G",
+                total_capacity_gbps=total,
+                failures_per_link_year=failures / (len(summaries) * years),
+                capacity_gain_ratio=total / baseline_capacity,
+            )
+        )
+
+    floor_capacity = table.min_capacity_gbps
+    dynamic_total = sum(
+        max(s.feasible_capacity_gbps, s.configured_capacity_gbps)
+        for s in summaries
+    )
+    dynamic_failures = sum(
+        s.failures_at(floor_capacity).n_episodes for s in summaries
+    )
+    points.append(
+        FrontierPoint(
+            label="dynamic",
+            total_capacity_gbps=dynamic_total,
+            failures_per_link_year=dynamic_failures / (len(summaries) * years),
+            capacity_gain_ratio=dynamic_total / baseline_capacity,
+        )
+    )
+    return points

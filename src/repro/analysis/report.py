@@ -1,0 +1,77 @@
+"""Plain-text rendering of figure series.
+
+The benchmark harness prints the same rows/series the paper plots;
+these helpers keep the output uniform and diff-able (EXPERIMENTS.md
+embeds them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.cdf import cdf_at, quantile
+
+
+def render_cdf(
+    name: str,
+    values,
+    *,
+    points: Sequence[float] | None = None,
+    unit: str = "",
+) -> str:
+    """A compact CDF table: P(X <= x) at chosen x values."""
+    data = np.asarray(values, dtype=float)
+    if points is None:
+        points = [quantile(data, q) for q in (0.1, 0.25, 0.5, 0.75, 0.9)]
+    lines = [f"CDF of {name} (n={data.size})"]
+    for x in points:
+        lines.append(f"  P(x <= {x:8.2f}{unit}) = {cdf_at(data, x):6.3f}")
+    return "\n".join(lines)
+
+
+def render_distribution(name: str, values, *, unit: str = "") -> str:
+    """Five-number summary plus mean."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        return f"{name}: (empty)"
+    return (
+        f"{name}: n={data.size} "
+        f"min={data.min():.2f}{unit} "
+        f"p25={quantile(data, 0.25):.2f}{unit} "
+        f"median={np.median(data):.2f}{unit} "
+        f"p75={quantile(data, 0.75):.2f}{unit} "
+        f"max={data.max():.2f}{unit} "
+        f"mean={data.mean():.2f}{unit}"
+    )
+
+
+def render_shares(name: str, shares: Mapping, *, as_percent: bool = True) -> str:
+    """Category-share bars (Figures 4a/4b style)."""
+    lines = [name]
+    for key, value in shares.items():
+        label = getattr(key, "label", str(key))
+        pct = 100.0 * value if as_percent else value
+        bar = "#" * int(round(pct / 2))
+        lines.append(f"  {label:<20} {pct:5.1f}%  {bar}")
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    rows: Iterable[tuple],
+    *,
+    header: Sequence[str],
+) -> str:
+    """A fixed-width table for sweep results."""
+    lines = [name, "  " + "  ".join(f"{h:>12}" for h in header)]
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(f"{cell:>12.2f}")
+            else:
+                cells.append(f"{str(cell):>12}")
+        lines.append("  " + "  ".join(cells))
+    return "\n".join(lines)

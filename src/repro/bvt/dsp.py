@@ -1,0 +1,86 @@
+"""Coherent DSP reconfiguration model.
+
+Two reconfiguration paths exist in the hardware the paper probes:
+
+* **full reprogram** — the conservative vendor path: the modem core is
+  reloaded with the new constellation's firmware tables while the link
+  is dark (a few seconds);
+* **in-service swap** — the path the paper demonstrates: the DSP swaps
+  constellation mapping on the fly while the laser stays lit, costing
+  only ~35 ms on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optics.modulation import (
+    DEFAULT_MODULATIONS,
+    ModulationFormat,
+    ModulationTable,
+)
+
+
+@dataclass(frozen=True)
+class DspTimings:
+    """Medians/shapes of DSP reconfiguration time distributions."""
+
+    reprogram_median_s: float = 5.5
+    reprogram_sigma: float = 0.30
+    inservice_median_s: float = 0.033
+    inservice_sigma: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.reprogram_median_s <= 0 or self.inservice_median_s <= 0:
+            raise ValueError("DSP timing medians must be positive")
+        if self.reprogram_sigma < 0 or self.inservice_sigma < 0:
+            raise ValueError("sigmas must be non-negative")
+
+
+class DspModel:
+    """Tracks the active modulation format and times format changes."""
+
+    def __init__(
+        self,
+        table: ModulationTable = DEFAULT_MODULATIONS,
+        timings: DspTimings | None = None,
+        initial_capacity_gbps: float = 100.0,
+    ):
+        self.table = table
+        self.timings = timings if timings is not None else DspTimings()
+        self._format = table.format_for_capacity(initial_capacity_gbps)
+
+    @property
+    def format(self) -> ModulationFormat:
+        return self._format
+
+    @property
+    def capacity_gbps(self) -> float:
+        return self._format.capacity_gbps
+
+    def _validate(self, target: ModulationFormat) -> None:
+        if target.capacity_gbps not in self.table.capacities_gbps:
+            raise ValueError(
+                f"format {target.name or target.capacity_gbps} not supported "
+                f"by this transceiver (ladder: {self.table.capacities_gbps})"
+            )
+
+    def reprogram(
+        self, target: ModulationFormat, rng: np.random.Generator
+    ) -> float:
+        """Full firmware reprogram to ``target``; returns step time (s)."""
+        self._validate(target)
+        self._format = target
+        t = self.timings
+        return float(rng.lognormal(np.log(t.reprogram_median_s), t.reprogram_sigma))
+
+    def inservice_swap(
+        self, target: ModulationFormat, rng: np.random.Generator
+    ) -> float:
+        """Hot constellation swap to ``target``; returns step time (s)."""
+        self._validate(target)
+        self._format = target
+        t = self.timings
+        return float(rng.lognormal(np.log(t.inservice_median_s), t.inservice_sigma))

@@ -1,0 +1,142 @@
+"""A fleet of BVTs executing a reconfiguration schedule.
+
+The scheduler (:mod:`repro.core.scheduler`) decides *what may happen
+together*; this module makes it happen on the hardware model: one BVT
+per link, batches executed serially, changes within a batch in
+parallel (each on its own transceiver), all against one shared
+simulated clock.  The resulting timeline is what a maintenance ticket
+would show: per-batch start/end and the per-link downtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.bvt.clock import SimClock
+from repro.bvt.transceiver import Bvt, ChangeProcedure
+from repro.core.scheduler import ReconfigurationSchedule
+from repro.optics.modulation import DEFAULT_MODULATIONS, ModulationTable
+
+
+@dataclass(frozen=True)
+class ExecutedChange:
+    """One link's reconfiguration as it actually ran."""
+
+    link_id: str
+    to_capacity_gbps: float
+    started_at_s: float
+    downtime_s: float
+
+
+@dataclass(frozen=True)
+class ExecutedBatch:
+    """One batch: parallel changes, wall clock = slowest member."""
+
+    index: int
+    started_at_s: float
+    changes: tuple[ExecutedChange, ...]
+
+    @property
+    def wallclock_s(self) -> float:
+        return max((c.downtime_s for c in self.changes), default=0.0)
+
+    @property
+    def ended_at_s(self) -> float:
+        return self.started_at_s + self.wallclock_s
+
+
+@dataclass(frozen=True)
+class ExecutionTimeline:
+    """The full maintenance window."""
+
+    batches: tuple[ExecutedBatch, ...]
+
+    @property
+    def total_wallclock_s(self) -> float:
+        return sum(b.wallclock_s for b in self.batches)
+
+    @property
+    def n_changes(self) -> int:
+        return sum(len(b.changes) for b in self.batches)
+
+    def downtime_of(self, link_id: str) -> float:
+        for batch in self.batches:
+            for change in batch.changes:
+                if change.link_id == link_id:
+                    return change.downtime_s
+        raise KeyError(f"link {link_id!r} was not reconfigured")
+
+
+class BvtFleet:
+    """One transceiver per link, sharing a wall clock."""
+
+    def __init__(
+        self,
+        initial_capacities_gbps: Mapping[str, float],
+        *,
+        table: ModulationTable = DEFAULT_MODULATIONS,
+        seed: int = 0,
+    ):
+        if not initial_capacities_gbps:
+            raise ValueError("a fleet needs at least one transceiver")
+        self.table = table
+        self.clock = SimClock()
+        self._rng = np.random.default_rng(seed)
+        self._bvts = {
+            link_id: Bvt(
+                table=table,
+                initial_capacity_gbps=capacity,
+                clock=SimClock(),  # per-device step timing; fleet clock is ours
+            )
+            for link_id, capacity in initial_capacities_gbps.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._bvts)
+
+    def capacity_of(self, link_id: str) -> float:
+        return self._bvt(link_id).capacity_gbps
+
+    def _bvt(self, link_id: str) -> Bvt:
+        try:
+            return self._bvts[link_id]
+        except KeyError:
+            raise KeyError(f"no transceiver for link {link_id!r}") from None
+
+    def execute_schedule(
+        self,
+        schedule: ReconfigurationSchedule,
+        *,
+        procedure: ChangeProcedure = ChangeProcedure.STANDARD,
+    ) -> ExecutionTimeline:
+        """Run the batches serially; changes inside a batch in parallel.
+
+        The fleet clock advances by each batch's slowest change — the
+        point of batching: ten 68-second changes in one batch cost one
+        68-second window, not ten.
+        """
+        executed_batches = []
+        for index, batch in enumerate(schedule.batches):
+            started = self.clock.now_s
+            changes = []
+            for upgrade in batch.upgrades:
+                result = self._bvt(upgrade.link_id).change_modulation(
+                    upgrade.new_capacity_gbps, self._rng, procedure=procedure
+                )
+                changes.append(
+                    ExecutedChange(
+                        link_id=upgrade.link_id,
+                        to_capacity_gbps=upgrade.new_capacity_gbps,
+                        started_at_s=started,
+                        downtime_s=result.downtime_s,
+                    )
+                )
+            executed = ExecutedBatch(
+                index=index, started_at_s=started, changes=tuple(changes)
+            )
+            self.clock.advance(executed.wallclock_s)
+            executed_batches.append(executed)
+        return ExecutionTimeline(batches=tuple(executed_batches))

@@ -1,0 +1,77 @@
+"""Laser power-cycle model.
+
+The paper traces most of the ~68 s modulation-change latency to one
+step: "turning the laser back on after reprogramming the transceiver
+module" — the transmit laser must restabilise and the far-end receiver
+must re-acquire carrier phase and polarisation state.  The timing
+distributions below are lognormal around that finding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class LaserState(enum.Enum):
+    ON = "on"
+    OFF = "off"
+
+
+@dataclass(frozen=True)
+class LaserTimings:
+    """Medians/shapes of the laser's transition-time distributions.
+
+    ``turn_on`` dominates: it includes laser thermal stabilisation plus
+    far-end receiver re-lock, the step the paper identifies as the
+    latency culprit.
+    """
+
+    turn_off_median_s: float = 1.8
+    turn_off_sigma: float = 0.25
+    turn_on_median_s: float = 57.0
+    turn_on_sigma: float = 0.28
+
+    def __post_init__(self) -> None:
+        if self.turn_off_median_s <= 0 or self.turn_on_median_s <= 0:
+            raise ValueError("laser transition medians must be positive")
+        if self.turn_off_sigma < 0 or self.turn_on_sigma < 0:
+            raise ValueError("sigmas must be non-negative")
+
+
+class LaserModel:
+    """The transmit laser: on/off state plus stochastic transition times."""
+
+    def __init__(self, timings: LaserTimings | None = None):
+        self.timings = timings if timings is not None else LaserTimings()
+        self._state = LaserState.ON
+
+    @property
+    def state(self) -> LaserState:
+        return self._state
+
+    @property
+    def is_on(self) -> bool:
+        return self._state is LaserState.ON
+
+    def turn_off(self, rng: np.random.Generator) -> float:
+        """Power the laser down; returns the time the step took (s).
+
+        Turning off an already-off laser is a no-op costing zero time —
+        the controller may retry after a fault.
+        """
+        if self._state is LaserState.OFF:
+            return 0.0
+        self._state = LaserState.OFF
+        t = self.timings
+        return float(rng.lognormal(np.log(t.turn_off_median_s), t.turn_off_sigma))
+
+    def turn_on(self, rng: np.random.Generator) -> float:
+        """Power up and restabilise; returns the time the step took (s)."""
+        if self._state is LaserState.ON:
+            return 0.0
+        self._state = LaserState.ON
+        t = self.timings
+        return float(rng.lognormal(np.log(t.turn_on_median_s), t.turn_on_sigma))

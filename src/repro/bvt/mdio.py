@@ -1,0 +1,130 @@
+"""MDIO register front-end for the BVT.
+
+The paper programs modulation changes "using the transceiver's MDIO
+interface".  This module exposes the simulator through the same style of
+interface: a small register file where writing a target modulation code
+and pulsing the APPLY bit triggers the state machine, and status/latency
+registers report back.  Integer register semantics follow management
+interface conventions (16-bit registers, read-modify-write control).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.bvt.transceiver import Bvt, ChangeProcedure
+
+
+class Register(enum.IntEnum):
+    """Register map of the simulated transceiver."""
+
+    DEVICE_ID = 0x00
+    STATUS = 0x01
+    CURRENT_MOD = 0x02
+    TARGET_MOD = 0x03
+    CONTROL = 0x04
+    #: downtime of the last modulation change, milliseconds (saturating)
+    LAST_CHANGE_MS = 0x05
+
+
+#: STATUS register bits
+STATUS_LINK_UP = 1 << 0
+STATUS_LASER_ON = 1 << 1
+STATUS_BUSY = 1 << 2
+
+#: CONTROL register bits
+CONTROL_APPLY = 1 << 0
+CONTROL_EFFICIENT = 1 << 1
+
+DEVICE_ID_VALUE = 0xACA7  # flex-rate coherent module
+
+_MAX_U16 = 0xFFFF
+
+
+class MdioInterface:
+    """Register-level access to a :class:`~repro.bvt.transceiver.Bvt`.
+
+    Modulation codes are indices into the transceiver's capacity ladder
+    (0 = slowest rung).  Writing an out-of-range code sets no state and
+    raises, mirroring a management-bus NACK.
+    """
+
+    def __init__(self, bvt: Bvt, rng: np.random.Generator):
+        self.bvt = bvt
+        self._rng = rng
+        self._target_code = self._code_of(bvt.capacity_gbps)
+        self._last_change_ms = 0
+
+    def _code_of(self, capacity_gbps: float) -> int:
+        return self.bvt.table.capacities_gbps.index(capacity_gbps)
+
+    def _capacity_of(self, code: int) -> float:
+        ladder = self.bvt.table.capacities_gbps
+        if not 0 <= code < len(ladder):
+            raise ValueError(f"modulation code {code} outside 0..{len(ladder) - 1}")
+        return ladder[code]
+
+    def read(self, register: int) -> int:
+        """Read one 16-bit register."""
+        reg = Register(register)
+        if reg is Register.DEVICE_ID:
+            return DEVICE_ID_VALUE
+        if reg is Register.STATUS:
+            status = 0
+            if self.bvt.is_carrying_traffic:
+                status |= STATUS_LINK_UP
+            if self.bvt.laser.is_on:
+                status |= STATUS_LASER_ON
+            return status
+        if reg is Register.CURRENT_MOD:
+            return self._code_of(self.bvt.capacity_gbps)
+        if reg is Register.TARGET_MOD:
+            return self._target_code
+        if reg is Register.CONTROL:
+            return 0  # APPLY self-clears; EFFICIENT is write-only policy
+        if reg is Register.LAST_CHANGE_MS:
+            return self._last_change_ms
+        raise ValueError(f"unmapped register {register:#x}")
+
+    def write(self, register: int, value: int) -> None:
+        """Write one 16-bit register."""
+        if not 0 <= value <= _MAX_U16:
+            raise ValueError(f"value {value} does not fit in 16 bits")
+        reg = Register(register)
+        if reg is Register.TARGET_MOD:
+            self._capacity_of(value)  # validate (raises on bad code)
+            self._target_code = value
+            return
+        if reg is Register.CONTROL:
+            if value & CONTROL_APPLY:
+                procedure = (
+                    ChangeProcedure.EFFICIENT
+                    if value & CONTROL_EFFICIENT
+                    else ChangeProcedure.STANDARD
+                )
+                result = self.bvt.change_modulation(
+                    self._capacity_of(self._target_code),
+                    self._rng,
+                    procedure=procedure,
+                )
+                self._last_change_ms = min(
+                    int(round(result.downtime_s * 1000.0)), _MAX_U16
+                )
+            return
+        if reg in (Register.DEVICE_ID, Register.STATUS, Register.CURRENT_MOD,
+                   Register.LAST_CHANGE_MS):
+            raise PermissionError(f"register {reg.name} is read-only")
+        raise ValueError(f"unmapped register {register:#x}")
+
+    def set_modulation(self, capacity_gbps: float, *, efficient: bool = False) -> int:
+        """Convenience wrapper: full write sequence for one change.
+
+        Returns the downtime in milliseconds as reported by the
+        LAST_CHANGE_MS register.
+        """
+        self.write(Register.TARGET_MOD, self._code_of(capacity_gbps))
+        control = CONTROL_APPLY | (CONTROL_EFFICIENT if efficient else 0)
+        self.write(Register.CONTROL, control)
+        return self.read(Register.LAST_CHANGE_MS)

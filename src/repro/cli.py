@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro``.
+
+Subcommands mirror the example scripts so the headline experiments are
+one shell command away:
+
+* ``study``        — the Section-2 telemetry study (Figures 2a/2b/4c);
+* ``testbed``      — the BVT modulation-change experiment (Figure 6b);
+* ``tickets``      — root-cause shares of the ticket corpus (Figure 4a/4b);
+* ``throughput``   — static vs. dynamic TE sweep;
+* ``availability`` — binary failures vs. dynamic flaps;
+* ``theorem``      — the Theorem-1 equivalence check on a random WAN.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.analysis import figures, render_cdf
+    from repro.telemetry import BackboneConfig, BackboneDataset
+
+    config = BackboneConfig(n_cables=args.cables, years=args.years, seed=args.seed)
+    dataset = BackboneDataset(config)
+    print(f"synthesising {dataset.n_links()} links x {config.years} years...")
+    summaries = dataset.summaries()
+
+    fig2a = figures.fig2a_snr_variation(summaries)
+    fig2b = figures.fig2b_feasible_capacity(summaries)
+    print(render_cdf("HDR(95%) width", fig2a.hdr_widths_db,
+                     points=[1.0, 2.0, 4.0], unit=" dB"))
+    print(f"HDR < 2 dB: {100.0 * fig2a.frac_hdr_below_2db:.1f}% (paper: 83%)")
+    print(f"mean range: {fig2a.mean_range_db:.1f} dB")
+    print(f">=175 Gbps feasible: {100.0 * fig2b.frac_at_least_175:.1f}% "
+          f"(paper: 80%)")
+    print(f"aggregate headroom: {fig2b.total_gain_tbps:.1f} Tbps")
+    try:
+        fig4c = figures.fig4c_failure_snr(summaries)
+    except ValueError:
+        print("rescuable failures: no failures in this (small) corpus")
+    else:
+        print(f"rescuable failures: {100.0 * fig4c.frac_at_least_3db:.1f}% "
+              f"(paper: ~25%)")
+    return 0
+
+
+def _cmd_testbed(args: argparse.Namespace) -> int:
+    from repro.bvt import Testbed
+
+    report = Testbed(seed=args.seed).run_figure6_experiment(args.changes)
+    print(f"{args.changes} modulation changes per procedure")
+    print(f"standard:  mean {report.standard_mean_s:.1f} s (paper: 68 s)")
+    print(f"efficient: mean {1000.0 * report.efficient_mean_s:.1f} ms "
+          f"(paper: 35 ms)")
+    print(f"speedup: {report.speedup:,.0f}x")
+    return 0
+
+
+def _cmd_tickets(args: argparse.Namespace) -> int:
+    from repro.analysis import render_shares
+    from repro.tickets import TicketGenerator, opportunity_area, shares_by_cause
+
+    corpus = TicketGenerator().generate(np.random.default_rng(args.seed))
+    shares = shares_by_cause(corpus)
+    print(render_shares("share of outage duration (Fig 4a)", dict(shares.duration)))
+    print(render_shares("share of events (Fig 4b)", dict(shares.frequency)))
+    area = opportunity_area(corpus)
+    print(f"opportunity area: {100.0 * area.opportunity_frequency:.1f}% of events")
+    return 0
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    from repro.analysis import render_series
+    from repro.net import gravity_demands, us_backbone_like
+    from repro.sim import simulate_throughput_gains
+
+    topology = us_backbone_like()
+    demands = gravity_demands(
+        topology, args.offered_gbps, np.random.default_rng(args.seed)
+    )
+    snrs = {l.link_id: args.snr_db for l in topology.real_links()}
+    points = simulate_throughput_gains(
+        topology, demands, snrs, demand_scales=tuple(args.scales)
+    )
+    rows = [
+        (p.demand_scale, p.static_gbps, p.dynamic_gbps, p.gain_ratio)
+        for p in points
+    ]
+    print(render_series("static vs dynamic TE throughput", rows,
+                        header=["scale", "static", "dynamic", "gain x"]))
+    return 0
+
+
+def _cmd_availability(args: argparse.Namespace) -> int:
+    from repro.sim import availability_report
+    from repro.telemetry import BackboneConfig, BackboneDataset
+
+    dataset = BackboneDataset(
+        BackboneConfig(n_cables=args.cables, years=args.years, seed=args.seed)
+    )
+    report = availability_report(dataset.iter_traces())
+    print(f"links: {report.n_links}")
+    print(f"binary failures: {report.n_binary_failures}")
+    print(f"avoided (flaps): {report.n_avoided} "
+          f"({100.0 * report.avoided_fraction:.1f}%; paper: ~25%)")
+    print(f"downtime saved: {report.total_downtime_saved_h:.0f} h")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.paper_report import ReportScale, build_report
+
+    scale = (
+        ReportScale.paper()
+        if args.full
+        else ReportScale(n_cables=args.cables, years=args.years, seed=args.seed)
+    )
+    text = build_report(scale)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis.export import export_all
+    from repro.telemetry import BackboneConfig, BackboneDataset
+
+    dataset = BackboneDataset(
+        BackboneConfig(n_cables=args.cables, years=args.years, seed=args.seed)
+    )
+    print(f"synthesising {dataset.n_links()} links x {args.years} years...")
+    summaries = dataset.summaries()
+    paths = export_all(
+        args.outdir, summaries, years=args.years, seed=args.seed
+    )
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_theorem(args: argparse.Namespace) -> int:
+    from repro.core import ConstantPenalty, check_theorem1
+    from repro.net import random_wan
+
+    rng = np.random.default_rng(args.seed)
+    topology = random_wan(args.nodes, rng)
+    for link in list(topology.links):
+        if rng.random() < 0.5:
+            topology.replace_link(link.link_id, headroom_gbps=100.0)
+    nodes = topology.nodes
+    report = check_theorem1(
+        topology, nodes[0], nodes[-1],
+        penalty_policy=ConstantPenalty(args.penalty),
+    )
+    print(f"max-flow(G at full capacity) = {report.maxflow_on_full_g:.1f} Gbps")
+    print(f"min-cost max-flow(G')        = {report.mcmf_on_augmented:.1f} Gbps")
+    print(f"static max-flow(G)           = {report.maxflow_on_static_g:.1f} Gbps")
+    print(f"Theorem 1 holds: {report.holds}")
+    return 0 if report.holds else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Run, Walk, Crawl: Towards Dynamic Link "
+            "Capacities' (HotNets 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    study = sub.add_parser("study", help="Section-2 telemetry study")
+    study.add_argument("--cables", type=int, default=14)
+    study.add_argument("--years", type=float, default=1.0)
+    study.add_argument("--seed", type=int, default=2017)
+    study.set_defaults(handler=_cmd_study)
+
+    testbed = sub.add_parser("testbed", help="Figure-6b BVT experiment")
+    testbed.add_argument("--changes", type=int, default=200)
+    testbed.add_argument("--seed", type=int, default=68)
+    testbed.set_defaults(handler=_cmd_testbed)
+
+    tickets = sub.add_parser("tickets", help="Figure-4 root-cause shares")
+    tickets.add_argument("--seed", type=int, default=2017)
+    tickets.set_defaults(handler=_cmd_tickets)
+
+    throughput = sub.add_parser("throughput", help="static vs dynamic TE sweep")
+    throughput.add_argument("--offered-gbps", type=float, default=6000.0)
+    throughput.add_argument("--snr-db", type=float, default=16.0)
+    throughput.add_argument("--scales", type=float, nargs="+",
+                            default=[0.5, 1.0, 2.0])
+    throughput.add_argument("--seed", type=int, default=1)
+    throughput.set_defaults(handler=_cmd_throughput)
+
+    availability = sub.add_parser("availability", help="failures vs flaps")
+    availability.add_argument("--cables", type=int, default=10)
+    availability.add_argument("--years", type=float, default=1.0)
+    availability.add_argument("--seed", type=int, default=42)
+    availability.set_defaults(handler=_cmd_availability)
+
+    export = sub.add_parser("export", help="write per-figure CSV data")
+    export.add_argument("outdir", type=str)
+    export.add_argument("--cables", type=int, default=12)
+    export.add_argument("--years", type=float, default=1.0)
+    export.add_argument("--seed", type=int, default=2017)
+    export.set_defaults(handler=_cmd_export)
+
+    report = sub.add_parser("report", help="full reproduction report")
+    report.add_argument("--full", action="store_true",
+                        help="paper scale (~2,000 links x 2.5 y; slow)")
+    report.add_argument("--cables", type=int, default=12)
+    report.add_argument("--years", type=float, default=1.0)
+    report.add_argument("--seed", type=int, default=2017)
+    report.add_argument("--output", type=str, default="")
+    report.set_defaults(handler=_cmd_report)
+
+    theorem = sub.add_parser("theorem", help="Theorem-1 equivalence check")
+    theorem.add_argument("--nodes", type=int, default=8)
+    theorem.add_argument("--penalty", type=float, default=100.0)
+    theorem.add_argument("--seed", type=int, default=0)
+    theorem.set_defaults(handler=_cmd_theorem)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""The paper's contribution: the graph abstraction for dynamic capacities.
+
+* :mod:`~repro.core.penalties` — penalty functions for fake links
+  (Section 4.2: "we suggest using the current link traffic as a penalty
+  function, but the TE operator can set the penalty values arbitrarily");
+* :mod:`~repro.core.augmentation` — Algorithm 1: G -> G' with fake
+  parallel links per upgradable wavelength, and fake-link removal when
+  SNR drops;
+* :mod:`~repro.core.gadgets` — the Figure-8 construction that keeps a
+  single unsplittable path at the upgraded rate;
+* :mod:`~repro.core.translation` — step 3 of the Theorem-1 procedure:
+  the TE output on G' read back as capacity-change decisions plus flow
+  paths on the real topology;
+* :mod:`~repro.core.theorem` — the executable Theorem-1 equivalence
+  check (min-cost max-flow on G' == max-flow on G at full capacity);
+* :mod:`~repro.core.policies` — the run/walk/crawl adaptation spectrum;
+* :mod:`~repro.core.controller` — the closed loop: telemetry -> augment
+  -> unmodified TE -> translate -> BVT reconfiguration.
+"""
+
+from repro.core.penalties import (
+    ConstantPenalty,
+    PenaltyPolicy,
+    PriorityWeightedPenalty,
+    TrafficDisruptionPenalty,
+    ZeroPenalty,
+)
+from repro.core.augmentation import (
+    AugmentedTopology,
+    augment_topology,
+    drop_infeasible_fake_links,
+)
+from repro.core.gadgets import apply_unsplittable_gadget
+from repro.core.translation import LinkUpgrade, TranslationResult, translate
+from repro.core.theorem import Theorem1Report, check_theorem1
+from repro.core.policies import AdaptationPolicy, crawl_policy, run_policy, walk_policy
+from repro.core.controller import (
+    ControllerReport,
+    DynamicCapacityController,
+)
+from repro.core.updates import (
+    DrainPlan,
+    MigrationStage,
+    drain_plan,
+    max_stage_churn_gbps,
+    migration_stages,
+)
+from repro.core.scheduler import (
+    ReconfigurationBatch,
+    ReconfigurationSchedule,
+    schedule_reconfigurations,
+)
+from repro.core.capacity_planner import (
+    ExhaustionForecast,
+    deferral_quarters,
+    forecast_exhaustion,
+)
+
+__all__ = [
+    "ConstantPenalty",
+    "PenaltyPolicy",
+    "PriorityWeightedPenalty",
+    "TrafficDisruptionPenalty",
+    "ZeroPenalty",
+    "AugmentedTopology",
+    "augment_topology",
+    "drop_infeasible_fake_links",
+    "apply_unsplittable_gadget",
+    "LinkUpgrade",
+    "TranslationResult",
+    "translate",
+    "Theorem1Report",
+    "check_theorem1",
+    "AdaptationPolicy",
+    "crawl_policy",
+    "run_policy",
+    "walk_policy",
+    "ControllerReport",
+    "DynamicCapacityController",
+    "DrainPlan",
+    "MigrationStage",
+    "drain_plan",
+    "max_stage_churn_gbps",
+    "migration_stages",
+    "ReconfigurationBatch",
+    "ReconfigurationSchedule",
+    "schedule_reconfigurations",
+    "ExhaustionForecast",
+    "deferral_quarters",
+    "forecast_exhaustion",
+]

@@ -1,0 +1,218 @@
+"""Algorithm 1: augmenting the IP topology with fake upgrade links.
+
+For every physical link whose SNR supports more than its configured
+capacity (``U[e] > 0``), a *fake* parallel link is added carrying the
+headroom and priced with the upgrade penalty ``P[e]``.  An unmodified
+TE algorithm run on the augmented graph then trades off extra capacity
+against disruption cost; flow landing on a fake link *is* the decision
+to upgrade its physical twin (read back by :mod:`repro.core.translation`).
+
+Two granularities are supported:
+
+* ``per_step=False`` — one fake link with the full headroom, exactly
+  Algorithm 1's pseudocode;
+* ``per_step=True`` — one fake link per modulation-ladder rung above
+  the current capacity, each sized as the increment to that rung and
+  priced cumulatively.  This models the discrete rate ladder: a flow
+  using 40 Gbps of headroom implies upgrading only as far as the rung
+  that provides it.
+
+Capacity *reductions* (SNR dropped) are handled per Section 4.2 by
+removing fake links — and, when the SNR no longer sustains even the
+configured rate, shrinking the real link, "the same set of operations
+as a real edge removal" from the TE controller's perspective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.penalties import PenaltyPolicy, ZeroPenalty
+from repro.net.topology import Link, Topology
+from repro.optics.modulation import ModulationTable
+
+
+@dataclass(frozen=True)
+class AugmentedTopology:
+    """The output of Algorithm 1: G' plus the fake-to-real mapping."""
+
+    topology: Topology
+    fake_to_real: Mapping[str, str]
+    #: headroom used to build each fake link, Gbps
+    fake_capacity: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def n_fake_links(self) -> int:
+        return len(self.fake_to_real)
+
+    def fakes_of(self, real_link_id: str) -> list[str]:
+        return [f for f, r in self.fake_to_real.items() if r == real_link_id]
+
+
+def augment_topology(
+    topology: Topology,
+    *,
+    penalty_policy: PenaltyPolicy | None = None,
+    current_traffic: Mapping[str, float] | None = None,
+    per_step: bool = False,
+    table: ModulationTable | None = None,
+    uniform_weights: bool = False,
+) -> AugmentedTopology:
+    """Build G' from G (Algorithm 1).
+
+    Args:
+        topology: the physical topology; each link's ``headroom_gbps``
+            is the ``U`` matrix entry (0 = not upgradable).
+        penalty_policy: prices each fake link (default: zero penalty).
+        current_traffic: per-link traffic (Gbps) fed to the penalty
+            policy; missing links count as idle.
+        per_step: one fake link per ladder rung instead of one total
+            (requires ``table``).
+        table: modulation ladder for per-step augmentation.
+        uniform_weights: set every link weight (real and fake) to 1 —
+            the Figure-7c "short paths at all costs" configuration.
+
+    The input topology is not modified.
+    """
+    if per_step and table is None:
+        raise ValueError("per_step augmentation needs a modulation table")
+    policy = penalty_policy if penalty_policy is not None else ZeroPenalty()
+    traffic = current_traffic or {}
+
+    augmented = topology.copy(f"{topology.name}-augmented")
+    fake_to_real: dict[str, str] = {}
+    fake_capacity: dict[str, float] = {}
+
+    if uniform_weights:
+        for link in list(augmented.links):
+            augmented.replace_link(link.link_id, weight=1.0)
+
+    for link in topology.real_links():
+        if link.headroom_gbps <= 0:
+            continue
+        penalty = policy(link, float(traffic.get(link.link_id, 0.0)))
+        if penalty < 0:
+            raise ValueError(
+                f"penalty policy returned {penalty} for {link.link_id}"
+            )
+        weight = 1.0 if uniform_weights else link.weight
+        if per_step:
+            _add_step_fakes(
+                augmented, link, penalty, weight, table, fake_to_real, fake_capacity
+            )
+        else:
+            fake = augmented.add_link(
+                link.src,
+                link.dst,
+                link.headroom_gbps,
+                penalty=penalty,
+                weight=weight,
+                link_id=f"{link.link_id}+fake",
+                is_fake=True,
+                shadow_of=link.link_id,
+            )
+            fake_to_real[fake.link_id] = link.link_id
+            fake_capacity[fake.link_id] = link.headroom_gbps
+
+    return AugmentedTopology(
+        topology=augmented,
+        fake_to_real=fake_to_real,
+        fake_capacity=fake_capacity,
+    )
+
+
+def _add_step_fakes(
+    augmented: Topology,
+    link: Link,
+    penalty: float,
+    weight: float,
+    table: ModulationTable,
+    fake_to_real: dict[str, str],
+    fake_capacity: dict[str, float],
+) -> None:
+    """One fake link per feasible ladder rung above the current rate.
+
+    Rung ``r`` gets capacity ``r - previous_rung`` so the *sum* of fake
+    capacities equals the headroom, and using all of them means
+    upgrading to the top feasible rung.  Penalties are charged in full
+    on the first step and nothing extra afterwards: one reconfiguration
+    reaches any rung.
+    """
+    feasible_cap = link.capacity_gbps + link.headroom_gbps
+    previous = link.capacity_gbps
+    first = True
+    for fmt in table:
+        if fmt.capacity_gbps <= link.capacity_gbps:
+            continue
+        if fmt.capacity_gbps > feasible_cap + 1e-9:
+            break
+        increment = fmt.capacity_gbps - previous
+        if increment <= 0:
+            continue
+        fake = augmented.add_link(
+            link.src,
+            link.dst,
+            increment,
+            penalty=penalty if first else 0.0,
+            weight=weight,
+            link_id=f"{link.link_id}+fake@{fmt.capacity_gbps:g}",
+            is_fake=True,
+            shadow_of=link.link_id,
+        )
+        fake_to_real[fake.link_id] = link.link_id
+        fake_capacity[fake.link_id] = increment
+        previous = fmt.capacity_gbps
+        first = False
+
+
+def drop_infeasible_fake_links(
+    augmented: AugmentedTopology,
+    feasible_capacity: Mapping[str, float],
+) -> AugmentedTopology:
+    """Remove fake links whose headroom the SNR no longer supports.
+
+    ``feasible_capacity`` maps real link ids to the capacity their
+    current SNR sustains.  Any fake link that would push the physical
+    link beyond that is deleted — which, per Section 4.2, triggers the
+    same TE reaction as a real edge removal.  Real links above their
+    feasible capacity are shrunk (the "link flap" replacing a failure).
+    """
+    topo = augmented.topology.copy()
+    fake_to_real = dict(augmented.fake_to_real)
+    fake_capacity = dict(augmented.fake_capacity)
+
+    committed: dict[str, float] = {}
+    for fake_id in sorted(fake_to_real):
+        real_id = fake_to_real[fake_id]
+        if real_id not in feasible_capacity:
+            continue
+        real = topo.link(real_id)
+        used = committed.get(real_id, real.capacity_gbps)
+        extra = fake_capacity.get(fake_id, topo.link(fake_id).capacity_gbps)
+        if used + extra > feasible_capacity[real_id] + 1e-9:
+            topo.remove_link(fake_id)
+            del fake_to_real[fake_id]
+            fake_capacity.pop(fake_id, None)
+        else:
+            committed[real_id] = used + extra
+
+    for real_id, feasible in feasible_capacity.items():
+        if real_id not in topo:
+            continue
+        real = topo.link(real_id)
+        if real.is_fake:
+            continue
+        if feasible <= 0:
+            topo.remove_link(real_id)
+            for fid in [f for f, r in fake_to_real.items() if r == real_id]:
+                if fid in topo:
+                    topo.remove_link(fid)
+                del fake_to_real[fid]
+                fake_capacity.pop(fid, None)
+        elif feasible < real.capacity_gbps - 1e-9:
+            topo.replace_link(real_id, capacity_gbps=feasible)
+
+    return AugmentedTopology(
+        topology=topo, fake_to_real=fake_to_real, fake_capacity=fake_capacity
+    )

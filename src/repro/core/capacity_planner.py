@@ -1,0 +1,126 @@
+"""Capacity planning: how long until the network runs out.
+
+The budget meeting version of the paper's pitch: traffic grows X% per
+quarter; the static network exhausts (cannot fully serve the matrix)
+after some number of quarters, at which point new wavelengths must be
+bought.  Re-modulating the installed base to its SNR-feasible rates
+pushes that date out — the deferral :mod:`repro.sim.economics` prices.
+
+Exhaustion is measured with the max-concurrent-flow LP: the network is
+exhausted once the common satisfaction fraction drops below a target
+(100% by default — some operators plan to 95%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.augmentation import augment_topology
+from repro.net.demands import Demand, scale_demands
+from repro.net.topology import Topology
+from repro.te.lp import MultiCommodityLp
+
+
+@dataclass(frozen=True)
+class ExhaustionForecast:
+    """When a network stops fully serving the growing matrix."""
+
+    quarters_until_exhaustion: int
+    growth_per_quarter: float
+    satisfaction_at_exhaustion: float
+    #: satisfaction fraction per quarter, starting at quarter 0
+    trajectory: tuple[float, ...]
+
+    @property
+    def years_until_exhaustion(self) -> float:
+        return self.quarters_until_exhaustion / 4.0
+
+
+def _satisfaction(topology: Topology, demands: Sequence[Demand]) -> float:
+    outcome = MultiCommodityLp(topology, demands).max_concurrent_flow(
+        cap_at_one=True
+    )
+    return float(outcome.concurrency if outcome.concurrency is not None else 0.0)
+
+
+def forecast_exhaustion(
+    topology: Topology,
+    demands: Sequence[Demand],
+    *,
+    growth_per_quarter: float = 0.10,
+    satisfaction_target: float = 1.0,
+    max_quarters: int = 40,
+    dynamic: bool = False,
+) -> ExhaustionForecast:
+    """Quarters until the matrix can no longer be fully served.
+
+    Args:
+        topology: the network; with ``dynamic=True`` its per-link
+            ``headroom_gbps`` is made available through Algorithm-1
+            augmentation before solving.
+        demands: the quarter-0 traffic matrix (must be fully servable,
+            or the forecast is zero quarters).
+        growth_per_quarter: compound traffic growth (0.10 = 10%).
+        satisfaction_target: the satisfaction fraction counted as
+            "still fine" (1.0 = every byte served).
+        max_quarters: forecast horizon.
+        dynamic: plan on the SNR-adaptive network instead of the static
+            one.
+    """
+    if growth_per_quarter <= 0:
+        raise ValueError("growth must be positive")
+    if not 0.0 < satisfaction_target <= 1.0:
+        raise ValueError("satisfaction target must be in (0, 1]")
+    if max_quarters <= 0:
+        raise ValueError("horizon must be positive")
+
+    working = (
+        augment_topology(topology).topology if dynamic else topology
+    )
+    trajectory = []
+    exhausted_at = max_quarters
+    for quarter in range(max_quarters + 1):
+        grown = scale_demands(demands, (1.0 + growth_per_quarter) ** quarter)
+        satisfaction = _satisfaction(working, grown)
+        trajectory.append(satisfaction)
+        if satisfaction < satisfaction_target - 1e-9:
+            exhausted_at = quarter
+            break
+    return ExhaustionForecast(
+        quarters_until_exhaustion=exhausted_at,
+        growth_per_quarter=growth_per_quarter,
+        satisfaction_at_exhaustion=trajectory[-1],
+        trajectory=tuple(trajectory),
+    )
+
+
+def deferral_quarters(
+    topology: Topology,
+    demands: Sequence[Demand],
+    *,
+    growth_per_quarter: float = 0.10,
+    satisfaction_target: float = 1.0,
+    max_quarters: int = 40,
+) -> tuple[ExhaustionForecast, ExhaustionForecast, int]:
+    """Static and dynamic forecasts plus the deferral between them."""
+    static = forecast_exhaustion(
+        topology,
+        demands,
+        growth_per_quarter=growth_per_quarter,
+        satisfaction_target=satisfaction_target,
+        max_quarters=max_quarters,
+    )
+    dynamic = forecast_exhaustion(
+        topology,
+        demands,
+        growth_per_quarter=growth_per_quarter,
+        satisfaction_target=satisfaction_target,
+        max_quarters=max_quarters,
+        dynamic=True,
+    )
+    return (
+        static,
+        dynamic,
+        dynamic.quarters_until_exhaustion - static.quarters_until_exhaustion,
+    )

@@ -1,0 +1,318 @@
+"""The closed control loop: telemetry -> augment -> TE -> BVT.
+
+:class:`DynamicCapacityController` is the deployment story of the paper
+assembled from the pieces:
+
+1. read each wavelength's SNR and ask the adaptation policy
+   (:mod:`repro.core.policies`) for a target capacity;
+2. apply forced *downgrades* first — a link whose SNR no longer
+   sustains its rate flaps to a lower rung (or goes down entirely),
+   which is the availability improvement of Section 2.2;
+3. expose the remaining upgrade headroom to Algorithm 1
+   (:mod:`repro.core.augmentation`) and run an **unmodified** TE
+   algorithm on the augmented graph;
+4. translate the TE output (:mod:`repro.core.translation`) into
+   capacity upgrades and execute them on the per-link BVTs, accounting
+   for reconfiguration downtime (standard ~68 s vs efficient ~35 ms,
+   Section 3.1).
+
+The TE algorithm is injected as a plain callable, underscoring the
+paper's point: SWAN/B4/CSPF run here without modification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.bvt.transceiver import Bvt, ChangeProcedure
+from repro.core.augmentation import augment_topology
+from repro.core.penalties import PenaltyPolicy, TrafficDisruptionPenalty
+from repro.core.policies import AdaptationPolicy, walk_policy
+from repro.core.translation import LinkUpgrade, translate
+from repro.net.demands import Demand
+from repro.net.srlg import SrlgMap
+from repro.net.topology import Topology
+from repro.optics.modulation import DEFAULT_MODULATIONS, ModulationTable
+from repro.te.lp import MultiCommodityLp
+from repro.te.solution import TeSolution
+
+#: a TE algorithm: (topology, demands) -> TeSolution
+TeAlgorithm = Callable[[Topology, Sequence[Demand]], TeSolution]
+
+
+def default_te_algorithm(topology: Topology, demands: Sequence[Demand]) -> TeSolution:
+    """Min-penalty-at-max-throughput LP — the Theorem-1 objective."""
+    return MultiCommodityLp(topology, demands).min_penalty_at_max_throughput().solution
+
+
+@dataclass(frozen=True)
+class LinkDowngrade:
+    """A forced capacity reduction (SNR dropped)."""
+
+    link_id: str
+    old_capacity_gbps: float
+    new_capacity_gbps: float
+
+    @property
+    def is_failure(self) -> bool:
+        """True when even the slowest rung no longer closes."""
+        return self.new_capacity_gbps <= 0.0
+
+
+@dataclass(frozen=True)
+class ControllerReport:
+    """Everything one control-loop iteration did."""
+
+    solution: TeSolution
+    upgrades: tuple[LinkUpgrade, ...]
+    downgrades: tuple[LinkDowngrade, ...]
+    failed_links: tuple[str, ...]
+    #: degraded links brought back toward their provisioned rate after
+    #: their signal recovered (not TE-driven, unlike upgrades)
+    restored_links: tuple[str, ...]
+    reconfiguration_downtime_s: float
+    #: traffic riding links while their BVT reconfigured (0 when the
+    #: controller drained them first)
+    traffic_disrupted_gbps: float = 0.0
+    #: the TE state used while upgraded links were drained (only set
+    #: when draining was enabled and upgrades happened)
+    interim_solution: TeSolution | None = None
+    #: maintenance batches the upgrades were executed in (SRLG-aware
+    #: when the controller was given an SrlgMap; else one batch)
+    n_reconfiguration_batches: int = 0
+
+    @property
+    def throughput_gbps(self) -> float:
+        return self.solution.total_allocated_gbps
+
+    @property
+    def n_capacity_changes(self) -> int:
+        return (
+            len(self.upgrades)
+            + len(self.restored_links)
+            + sum(1 for d in self.downgrades if not d.is_failure)
+        )
+
+
+class DynamicCapacityController:
+    """Stateful controller over one physical topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        policy: AdaptationPolicy | None = None,
+        penalty_policy: PenaltyPolicy | None = None,
+        te_algorithm: TeAlgorithm = default_te_algorithm,
+        table: ModulationTable = DEFAULT_MODULATIONS,
+        procedure: ChangeProcedure = ChangeProcedure.EFFICIENT,
+        drain_before_change: bool = False,
+        srlgs: SrlgMap | None = None,
+        seed: int = 0,
+    ):
+        """``drain_before_change`` applies Section 4.2's consistent-update
+        recipe: before reconfiguring a link's BVT, re-run the TE with
+        that link removed and move traffic onto the interim state, so
+        even a slow (standard-procedure) change disturbs no flows.  The
+        link downtime is unchanged; the *traffic* disruption drops to
+        zero, at the cost of one extra TE solve per round with upgrades.
+
+        ``srlgs`` makes upgrade execution shared-risk-aware: changes on
+        the same fiber cable are serialised into separate maintenance
+        batches (see :mod:`repro.core.scheduler`), so a cable never has
+        all of its wavelengths reconfiguring at once.
+        """
+        self.physical = topology
+        self.policy = policy if policy is not None else walk_policy(table=table)
+        self.penalty_policy = (
+            penalty_policy
+            if penalty_policy is not None
+            else TrafficDisruptionPenalty()
+        )
+        self.te_algorithm = te_algorithm
+        self.table = table
+        self.procedure = procedure
+        self.drain_before_change = drain_before_change
+        self.srlgs = srlgs
+        self._rng = np.random.default_rng(seed)
+        self.capacity: dict[str, float] = {
+            l.link_id: l.capacity_gbps for l in topology.real_links()
+        }
+        #: as-provisioned capacities, used when restoring failed links
+        #: under a no-upgrades policy
+        self._configured = dict(self.capacity)
+        self._bvts: dict[str, Bvt] = {}
+        self._traffic: dict[str, float] = {}
+        self.total_downtime_s = 0.0
+
+    # -- hardware access ----------------------------------------------------
+
+    def _bvt(self, link_id: str) -> Bvt:
+        if link_id not in self._bvts:
+            initial = self.capacity[link_id]
+            if initial <= 0:
+                # link is dark; model the transceiver at its provisioned rate
+                initial = self._configured[link_id]
+            if initial not in self.table.capacities_gbps:
+                raise ValueError(
+                    f"link {link_id} configured at {initial} Gbps, which is "
+                    f"not on the modulation ladder {self.table.capacities_gbps}"
+                )
+            self._bvts[link_id] = Bvt(
+                table=self.table, initial_capacity_gbps=initial
+            )
+        return self._bvts[link_id]
+
+    def _reconfigure(self, link_id: str, capacity_gbps: float) -> float:
+        """Drive the link's BVT to ``capacity_gbps``; returns downtime (s)."""
+        result = self._bvt(link_id).change_modulation(
+            capacity_gbps, self._rng, procedure=self.procedure
+        )
+        return result.downtime_s
+
+    # -- the control loop -----------------------------------------------------
+
+    def step(
+        self,
+        snr_by_link: Mapping[str, float],
+        demands: Sequence[Demand],
+    ) -> ControllerReport:
+        """One TE recomputation round.
+
+        Args:
+            snr_by_link: current SNR (dB) per physical link id; links
+                not mentioned are assumed healthy at their capacity.
+            demands: the traffic matrix for this round.
+        """
+        downtime = 0.0
+        downgrades: list[LinkDowngrade] = []
+        failed: list[str] = []
+        restored: list[str] = []
+
+        # 1-2. forced downgrades / failures, and restoration of links
+        # whose light came back
+        for link_id, snr in snr_by_link.items():
+            if link_id not in self.capacity:
+                raise KeyError(f"unknown link {link_id!r}")
+            current = self.capacity[link_id]
+            configured = self._configured[link_id]
+            if current <= 0:
+                # the link is down; bring it back at a safe rate if the
+                # signal recovered (no downtime: it was dark anyway)
+                feasible = self.table.feasible_capacity(snr)
+                restore = (
+                    feasible
+                    if self.policy.allow_upgrades
+                    else min(feasible, configured)
+                )
+                if restore > 0:
+                    self._reconfigure(link_id, restore)
+                    self.capacity[link_id] = restore
+                    restored.append(link_id)
+                continue
+            target = self.policy.target_capacity_gbps(current, snr)
+            if target < current:
+                downgrades.append(
+                    LinkDowngrade(link_id, current, target)
+                )
+                if target > 0:
+                    downtime += self._reconfigure(link_id, target)
+                else:
+                    failed.append(link_id)
+                self.capacity[link_id] = target
+            elif current < configured:
+                # a previously-flapped link: recovery to the provisioned
+                # rate is an operator invariant, not a TE decision (going
+                # *beyond* the provisioned rate stays demand-driven).
+                # The policy's hysteresis margin guards against flapping
+                # right back.
+                guarded = self.table.feasible_capacity(
+                    snr - self.policy.upgrade_margin_db
+                )
+                restore = min(max(guarded, current), configured)
+                if restore > current:
+                    downtime += self._reconfigure(link_id, restore)
+                    self.capacity[link_id] = restore
+                    restored.append(link_id)
+
+        # 3. working topology at post-downgrade capacities, with headroom
+        working = Topology(f"{self.physical.name}@step")
+        for node in self.physical.nodes:
+            working.add_node(node)
+        for link in self.physical.real_links():
+            capacity = self.capacity[link.link_id]
+            if capacity <= 0:
+                continue  # link is down this round
+            snr = snr_by_link.get(link.link_id)
+            headroom = (
+                self.policy.headroom_gbps(capacity, snr) if snr is not None else 0.0
+            )
+            working.add_link(
+                link.src,
+                link.dst,
+                capacity,
+                headroom_gbps=headroom,
+                weight=link.weight,
+                link_id=link.link_id,
+            )
+
+        # 4-5. augment and run the unmodified TE algorithm
+        augmented = augment_topology(
+            working,
+            penalty_policy=self.penalty_policy,
+            current_traffic=self._traffic,
+        )
+        te_solution = self.te_algorithm(augmented.topology, demands)
+
+        # 6. translate and execute upgrades; optionally drain first so
+        #    slow reconfigurations hit no traffic (Section 4.2)
+        translation = translate(augmented, te_solution, table=self.table)
+        interim = None
+        disrupted = sum(u.disrupted_traffic_gbps for u in translation.upgrades)
+        if (
+            self.drain_before_change
+            and translation.upgrades
+        ):
+            drained = working.copy(f"{working.name}-drained")
+            for upgrade in translation.upgrades:
+                drained.remove_link(upgrade.link_id)
+            interim = self.te_algorithm(drained, demands)
+            disrupted = 0.0  # traffic moved off before the BVTs touched
+        if self.srlgs is not None and translation.upgrades:
+            from repro.core.scheduler import schedule_reconfigurations
+
+            schedule = schedule_reconfigurations(
+                translation.upgrades, self.srlgs
+            )
+            n_batches = schedule.n_batches
+            ordered_upgrades = [
+                u for batch in schedule.batches for u in batch.upgrades
+            ]
+        else:
+            n_batches = 1 if translation.upgrades else 0
+            ordered_upgrades = list(translation.upgrades)
+        for upgrade in ordered_upgrades:
+            downtime += self._reconfigure(upgrade.link_id, upgrade.new_capacity_gbps)
+            self.capacity[upgrade.link_id] = upgrade.new_capacity_gbps
+
+        # 7. remember traffic for the next round's penalty computation
+        self._traffic = {
+            l.link_id: translation.solution.link_flow(l.link_id)
+            for l in translation.solution.topology.links
+        }
+        self.total_downtime_s += downtime
+
+        return ControllerReport(
+            solution=translation.solution,
+            upgrades=translation.upgrades,
+            downgrades=tuple(downgrades),
+            failed_links=tuple(failed),
+            restored_links=tuple(restored),
+            reconfiguration_downtime_s=downtime,
+            traffic_disrupted_gbps=disrupted,
+            interim_solution=interim,
+            n_reconfiguration_batches=n_batches,
+        )

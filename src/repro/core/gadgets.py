@@ -1,0 +1,130 @@
+"""The Figure-8 gadget for unsplittable flows.
+
+Plain augmentation represents an upgradable 100 Gbps link as two
+parallel 100 Gbps links (real + fake) — fine for splittable TE, but an
+*unsplittable* 200 Gbps flow cannot ride two parallel 100s.  Figure 8
+fixes this by subdividing the link with intermediate vertices so a
+single path of the full upgraded rate exists while total capacity stays
+physically correct:
+
+``u --(base: c, penalty 0)-------> m --(c+h, penalty 0)--> v``
+``u --(upgraded: c+h, penalty P)-> m``
+
+The second hop's capacity ``c + h`` enforces the physical limit (the
+two first-hop edges cannot both be saturated), and the *upgraded*
+first-hop edge provides a single ``c + h`` path.  The paper's figure
+draws two intermediate vertices (A', B'); one suffices and is what we
+build — the second would only split the tail edge in two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.penalties import PenaltyPolicy, ZeroPenalty
+from repro.net.topology import Topology
+
+
+@dataclass(frozen=True)
+class GadgetTopology:
+    """An augmented topology where selected links use the Figure-8 form."""
+
+    topology: Topology
+    #: upgraded-edge id -> original physical link id
+    upgrade_to_real: Mapping[str, str]
+    #: intermediate node added for each gadgeted link
+    mid_nodes: Mapping[str, str]
+
+
+def apply_unsplittable_gadget(
+    topology: Topology,
+    link_ids: Iterable[str] | None = None,
+    *,
+    penalty_policy: PenaltyPolicy | None = None,
+    current_traffic: Mapping[str, float] | None = None,
+) -> GadgetTopology:
+    """Rebuild ``topology`` with Figure-8 gadgets on upgradable links.
+
+    Args:
+        topology: physical topology; ``headroom_gbps`` marks upgradable
+            links.
+        link_ids: which links to gadget (default: every link with
+            headroom).  Links without headroom are never touched.
+        penalty_policy / current_traffic: as in
+            :func:`repro.core.augmentation.augment_topology`.
+
+    The input is not modified.  Unsplittable routing (e.g. CSPF) on the
+    result can push a single full-rate path through an upgraded link,
+    which is impossible on the parallel-link augmentation.
+    """
+    policy = penalty_policy if penalty_policy is not None else ZeroPenalty()
+    traffic = current_traffic or {}
+    targets = set(link_ids) if link_ids is not None else {
+        l.link_id for l in topology.real_links() if l.headroom_gbps > 0
+    }
+    for link_id in targets:
+        link = topology.link(link_id)  # raises on unknown id
+        if link.is_fake:
+            raise ValueError(f"cannot gadget fake link {link_id}")
+        if link.headroom_gbps <= 0:
+            raise ValueError(f"link {link_id} has no headroom to gadget")
+
+    out = Topology(f"{topology.name}-gadget")
+    upgrade_to_real: dict[str, str] = {}
+    mid_nodes: dict[str, str] = {}
+    for node in topology.nodes:
+        out.add_node(node)
+
+    for link in topology.links:
+        if link.link_id not in targets:
+            out.add_link(
+                link.src,
+                link.dst,
+                link.capacity_gbps,
+                headroom_gbps=link.headroom_gbps,
+                penalty=link.penalty,
+                weight=link.weight,
+                link_id=link.link_id,
+                is_fake=link.is_fake,
+                shadow_of=link.shadow_of,
+            )
+            continue
+
+        mid = f"{link.link_id}@mid"
+        full = link.capacity_gbps + link.headroom_gbps
+        penalty = policy(link, float(traffic.get(link.link_id, 0.0)))
+        out.add_node(mid)
+        # base first hop: current capacity, free
+        out.add_link(
+            link.src,
+            mid,
+            link.capacity_gbps,
+            weight=link.weight,
+            link_id=f"{link.link_id}@base",
+        )
+        # upgraded first hop: full rate, pays the upgrade penalty
+        upgraded = out.add_link(
+            link.src,
+            mid,
+            full,
+            penalty=penalty,
+            weight=link.weight,
+            link_id=f"{link.link_id}@upgraded",
+            is_fake=True,
+            shadow_of=link.link_id,
+        )
+        # tail: enforces the physical total and completes the path
+        out.add_link(
+            mid,
+            link.dst,
+            full,
+            weight=0.0,
+            link_id=f"{link.link_id}@tail",
+        )
+        upgrade_to_real[upgraded.link_id] = link.link_id
+        mid_nodes[link.link_id] = mid
+
+    return GadgetTopology(
+        topology=out, upgrade_to_real=upgrade_to_real, mid_nodes=mid_nodes
+    )

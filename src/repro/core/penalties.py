@@ -1,0 +1,97 @@
+"""Penalty functions for fake (upgrade) links.
+
+The penalty ``P[e]`` of Algorithm 1 prices the disruption of changing
+link ``e``'s capacity: today's BVTs take the link down for ~68 seconds
+(Section 3.1), so any traffic on it is hit.  Section 4.2 lists the
+knobs: charge the current traffic, weight by disruption duration or by
+the priority of the traffic, or set costs arbitrarily — "the TE
+operators are free to set these costs to be as conservative or
+aggressive as they desire".
+
+A penalty policy maps a physical link (plus the traffic currently on
+it) to the penalty of its fake twin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Protocol
+
+from repro.net.topology import Link
+
+#: current traffic per link id, Gbps (from the previous TE round)
+TrafficMap = Mapping[str, float]
+
+
+class PenaltyPolicy(Protocol):
+    """Callable assigning the upgrade penalty of one physical link."""
+
+    def __call__(self, link: Link, current_traffic_gbps: float) -> float: ...
+
+
+class ZeroPenalty:
+    """No penalty: upgrades are free (the pure-headroom view).
+
+    Useful as the optimistic bound and for hitless hardware (the 35 ms
+    efficient path makes disruption nearly free).
+    """
+
+    def __call__(self, link: Link, current_traffic_gbps: float) -> float:
+        return 0.0
+
+
+class ConstantPenalty:
+    """A fixed penalty per upgrade, like the example of Section 4.1
+    ("the cost of changing the modulation set at 100")."""
+
+    def __init__(self, value: float):
+        if value < 0:
+            raise ValueError("penalty must be non-negative")
+        self.value = value
+
+    def __call__(self, link: Link, current_traffic_gbps: float) -> float:
+        return self.value
+
+
+class TrafficDisruptionPenalty:
+    """The paper's suggested default: penalty = traffic on the link now.
+
+    Upgrading an idle wavelength is free; upgrading a loaded one costs
+    in proportion to the flow that would be hit by the reconfiguration
+    outage.  ``scale`` converts Gbps of disrupted traffic into penalty
+    units (e.g. expected seconds of downtime per change).
+    """
+
+    def __init__(self, *, scale: float = 1.0, floor: float = 0.0):
+        if scale < 0 or floor < 0:
+            raise ValueError("scale and floor must be non-negative")
+        self.scale = scale
+        self.floor = floor
+
+    def __call__(self, link: Link, current_traffic_gbps: float) -> float:
+        if current_traffic_gbps < 0:
+            raise ValueError("current traffic must be non-negative")
+        return max(self.scale * current_traffic_gbps, self.floor)
+
+
+class PriorityWeightedPenalty:
+    """Disruption cost weighted by the priority mix riding the link.
+
+    Section 4.2: "adjusting the penalty according to the traffic
+    priority class".  The caller provides a function from link id to a
+    weight (e.g. 10x for links carrying interactive traffic); the base
+    policy prices the raw disruption.
+    """
+
+    def __init__(
+        self,
+        base: PenaltyPolicy,
+        weight_of: Callable[[str], float],
+    ):
+        self.base = base
+        self.weight_of = weight_of
+
+    def __call__(self, link: Link, current_traffic_gbps: float) -> float:
+        weight = self.weight_of(link.link_id)
+        if weight < 0:
+            raise ValueError("priority weight must be non-negative")
+        return weight * self.base(link, current_traffic_gbps)

@@ -1,0 +1,154 @@
+"""Reading the TE output on G' back into the physical world.
+
+Step 3 of the paper's Theorem-1 procedure: "directly translate the
+output ... into (a) decisions about which link capacities should be
+modified; and (b) the flow-paths of the current traffic demands."
+
+Flow on a fake link means its physical twin must be upgraded by at
+least that much; the modulation ladder rounds the requirement up to the
+next rung.  The translated solution merges each fake link's flow into
+its twin and lives on the *upgraded* physical topology, so all the
+usual solution invariants (capacity, conservation) can be re-audited
+after translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.augmentation import AugmentedTopology
+from repro.net.topology import Topology
+from repro.optics.modulation import ModulationTable
+from repro.te.solution import EPSILON, FlowAssignment, TeSolution
+
+
+@dataclass(frozen=True)
+class LinkUpgrade:
+    """One capacity-change decision."""
+
+    link_id: str
+    old_capacity_gbps: float
+    new_capacity_gbps: float
+    #: flow the TE put on the fake twin (why the upgrade is needed)
+    headroom_used_gbps: float
+    #: traffic currently riding the link: what a non-hitless
+    #: reconfiguration would disturb
+    disrupted_traffic_gbps: float
+
+    @property
+    def gain_gbps(self) -> float:
+        return self.new_capacity_gbps - self.old_capacity_gbps
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """Upgrades plus the flow assignment on the upgraded physical graph."""
+
+    upgrades: tuple[LinkUpgrade, ...]
+    solution: TeSolution
+
+    @property
+    def upgraded_topology(self) -> Topology:
+        return self.solution.topology
+
+    @property
+    def total_gain_gbps(self) -> float:
+        return sum(u.gain_gbps for u in self.upgrades)
+
+    @property
+    def total_disrupted_gbps(self) -> float:
+        return sum(u.disrupted_traffic_gbps for u in self.upgrades)
+
+
+def translate(
+    augmented: AugmentedTopology,
+    solution: TeSolution,
+    *,
+    table: ModulationTable | None = None,
+    physical: Topology | None = None,
+) -> TranslationResult:
+    """Translate a TE solution on G' into upgrades + physical flows.
+
+    Args:
+        augmented: the Algorithm-1 output the solution was computed on.
+        solution: TE output over ``augmented.topology``.
+        table: modulation ladder; when given, upgraded capacities are
+            rounded *up* to the next rung (hardware cannot do 173 Gbps).
+        physical: the original topology G; defaults to reconstructing it
+            from the augmented graph by dropping fake links.
+
+    Raises :class:`ValueError` if the solution was computed on a
+    different topology than ``augmented``.
+    """
+    if solution.topology is not augmented.topology and {
+        l.link_id for l in solution.topology.links
+    } != {l.link_id for l in augmented.topology.links}:
+        raise ValueError("solution does not belong to this augmented topology")
+
+    # 1. how much headroom did the TE consume per physical link?
+    headroom_used: dict[str, float] = {}
+    for fake_id, real_id in augmented.fake_to_real.items():
+        used = solution.link_flow(fake_id)
+        if used > EPSILON:
+            headroom_used[real_id] = headroom_used.get(real_id, 0.0) + used
+
+    # 2. build the upgraded physical topology
+    base = physical if physical is not None else _strip_fakes(augmented.topology)
+    upgraded = base.copy(f"{base.name}-upgraded")
+    upgrades = []
+    for real_id, used in sorted(headroom_used.items()):
+        link = upgraded.link(real_id)
+        needed = link.capacity_gbps + used
+        new_capacity = _round_up_to_rung(needed, link, table)
+        upgraded.replace_link(real_id, capacity_gbps=new_capacity, headroom_gbps=0.0)
+        upgrades.append(
+            LinkUpgrade(
+                link_id=real_id,
+                old_capacity_gbps=link.capacity_gbps,
+                new_capacity_gbps=new_capacity,
+                headroom_used_gbps=used,
+                disrupted_traffic_gbps=solution.link_flow(real_id),
+            )
+        )
+
+    # 3. merge fake flows into their physical twins
+    assignments = []
+    for assignment in solution.assignments:
+        merged: dict[str, float] = {}
+        for link_id, flow in assignment.edge_flows.items():
+            real_id = augmented.fake_to_real.get(link_id, link_id)
+            merged[real_id] = merged.get(real_id, 0.0) + flow
+        assignments.append(
+            FlowAssignment(
+                demand=assignment.demand,
+                allocated_gbps=assignment.allocated_gbps,
+                edge_flows=merged,
+            )
+        )
+
+    return TranslationResult(
+        upgrades=tuple(upgrades),
+        solution=TeSolution(upgraded, assignments),
+    )
+
+
+def _strip_fakes(augmented_topology: Topology) -> Topology:
+    out = augmented_topology.copy(
+        augmented_topology.name.removesuffix("-augmented")
+    )
+    for link in list(out.links):
+        if link.is_fake:
+            out.remove_link(link.link_id)
+    return out
+
+
+def _round_up_to_rung(
+    needed_gbps: float, link, table: ModulationTable | None
+) -> float:
+    if table is None:
+        return needed_gbps
+    for fmt in table:
+        if fmt.capacity_gbps >= needed_gbps - 1e-6:
+            return fmt.capacity_gbps
+    # above the ladder: cap at the physically feasible maximum
+    return link.capacity_gbps + link.headroom_gbps

@@ -1,0 +1,159 @@
+"""Consistent network updates around capacity changes (Section 4.2).
+
+Two tools the paper references when a flow "can be temporarily
+rerouted, but will not suffer from disruption":
+
+* **drain plans** — "after identifying the links to be updated E_U, we
+  remove E_U from the topology and invoke the TE controller again":
+  compute an intermediate TE state that carries traffic while the
+  upgraded links are dark (:func:`drain_plan`);
+* **congestion-free migration** — the SWAN-style staged transition
+  between two flow states: every intermediate stage is a convex
+  combination of the endpoints, hence feasible (both endpoints respect
+  capacities and the constraints are linear), and per-stage flow deltas
+  are bounded so rule churn per stage is controlled
+  (:func:`migration_stages`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.net.demands import Demand
+from repro.net.topology import Topology
+from repro.te.solution import FlowAssignment, TeSolution
+
+TeAlgorithm = Callable[[Topology, Sequence[Demand]], TeSolution]
+
+
+@dataclass(frozen=True)
+class DrainPlan:
+    """The intermediate state that frees the links being reconfigured."""
+
+    drained_link_ids: tuple[str, ...]
+    #: TE solution valid while the drained links are out of service
+    interim_solution: TeSolution
+    #: throughput lost while drained (vs. the pre-drain solution)
+    throughput_sacrifice_gbps: float
+
+
+def drain_plan(
+    topology: Topology,
+    demands: Sequence[Demand],
+    links_to_update: Iterable[str],
+    te_algorithm: TeAlgorithm,
+    *,
+    baseline: TeSolution | None = None,
+) -> DrainPlan:
+    """Re-run the TE with the to-be-updated links removed.
+
+    The interim solution carries no traffic on any link in
+    ``links_to_update``, so their BVTs can reconfigure without hitting
+    flows — the upgrade becomes hitless at the IP layer even with
+    slow (standard-procedure) hardware.
+    """
+    drained = tuple(links_to_update)
+    if not drained:
+        raise ValueError("nothing to drain")
+    working = topology.copy(f"{topology.name}-drain")
+    for link_id in drained:
+        working.remove_link(link_id)  # raises on unknown id
+
+    interim = te_algorithm(working, demands)
+    before = (
+        baseline.total_allocated_gbps
+        if baseline is not None
+        else te_algorithm(topology, demands).total_allocated_gbps
+    )
+    return DrainPlan(
+        drained_link_ids=drained,
+        interim_solution=interim,
+        throughput_sacrifice_gbps=max(before - interim.total_allocated_gbps, 0.0),
+    )
+
+
+@dataclass(frozen=True)
+class MigrationStage:
+    """One stage of a staged transition."""
+
+    fraction: float  # position along current -> target, in (0, 1]
+    solution: TeSolution
+
+
+def migration_stages(
+    current: TeSolution,
+    target: TeSolution,
+    *,
+    n_stages: int = 4,
+) -> list[MigrationStage]:
+    """Stage the move from ``current`` to ``target`` flow state.
+
+    Stage ``i`` carries the convex combination
+    ``(1 - f_i) * current + f_i * target`` with ``f_i = i / n_stages``.
+    Because capacity and conservation constraints are linear, every
+    stage is feasible whenever both endpoints are — the classic
+    congestion-free-update argument.  Demands must match pairwise.
+
+    Raises :class:`ValueError` when the endpoint solutions belong to
+    different topologies or demand sets.
+    """
+    if n_stages <= 0:
+        raise ValueError("need at least one stage")
+    if len(current.assignments) != len(target.assignments):
+        raise ValueError("solutions cover different demand sets")
+    for a, b in zip(current.assignments, target.assignments):
+        if a.demand.pair != b.demand.pair:
+            raise ValueError(
+                f"demand mismatch: {a.demand.pair} vs {b.demand.pair}"
+            )
+    current_ids = {l.link_id for l in current.topology.links}
+    target_ids = {l.link_id for l in target.topology.links}
+    if not target_ids <= current_ids and not current_ids <= target_ids:
+        raise ValueError("solutions belong to unrelated topologies")
+    # interpolate on the richer topology so every referenced link exists
+    base = (
+        current.topology if target_ids <= current_ids else target.topology
+    )
+
+    stages = []
+    for i in range(1, n_stages + 1):
+        f = i / n_stages
+        mixed = []
+        for a, b in zip(current.assignments, target.assignments):
+            flows: dict[str, float] = {}
+            for link_id, flow in a.edge_flows.items():
+                flows[link_id] = flows.get(link_id, 0.0) + (1.0 - f) * flow
+            for link_id, flow in b.edge_flows.items():
+                flows[link_id] = flows.get(link_id, 0.0) + f * flow
+            mixed.append(
+                FlowAssignment(
+                    demand=a.demand,
+                    allocated_gbps=(1.0 - f) * a.allocated_gbps
+                    + f * b.allocated_gbps,
+                    edge_flows={k: v for k, v in flows.items() if v > 1e-9},
+                )
+            )
+        stages.append(MigrationStage(fraction=f, solution=TeSolution(base, mixed)))
+    return stages
+
+
+def max_stage_churn_gbps(stages: Sequence[MigrationStage]) -> float:
+    """Largest per-link rate change between consecutive stages.
+
+    Operators bound this to limit per-step rule updates; halving it
+    requires doubling ``n_stages``.
+    """
+    if not stages:
+        raise ValueError("no stages")
+    worst = 0.0
+    previous = stages[0].solution
+    for stage in stages[1:]:
+        link_ids = set(previous._link_flow) | set(stage.solution._link_flow)
+        for link_id in link_ids:
+            delta = abs(
+                stage.solution.link_flow(link_id) - previous.link_flow(link_id)
+            )
+            worst = max(worst, delta)
+        previous = stage.solution
+    return worst

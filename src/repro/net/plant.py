@@ -1,0 +1,286 @@
+"""The fiber plant: binding IP links to the optical infrastructure.
+
+Everything in the paper happens at the seam between two graphs: the IP
+topology the TE controller sees, and the physical plant of fiber cables
+whose SNR sets what each IP link can carry.  A :class:`FiberPlant`
+makes that seam explicit:
+
+* every duplex node pair of the IP topology rides one
+  :class:`~repro.optics.fiber.FiberCable` whose span count comes from
+  the site distance (80 km amplifier huts);
+* the cable's line-system budget gives both directions the same SNR
+  baseline (they share the fiber pair);
+* cable-scope telemetry events hit both directions together, and the
+  plant's :class:`~repro.net.srlg.SrlgMap` records the shared risk;
+* the whole thing synthesises a telemetry corpus keyed by *IP link id*,
+  ready to drive the closed-loop controller.
+
+This replaces the ad-hoc "assign every link 16 dB" step of simple
+experiments with a physically consistent story: long cables have less
+headroom, short ones more — exactly the structure Figure 2b reports.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.net.srlg import SrlgMap
+from repro.net.topology import Topology
+from repro.optics.fiber import FiberCable, LineSystem
+from repro.optics.modulation import DEFAULT_MODULATIONS, ModulationTable
+from repro.telemetry.events import EventSynthesizer, PAPER_EVENT_RATES, EventRates
+from repro.telemetry.timebase import Timebase
+from repro.telemetry.traces import NoiseModel, SnrTrace, synthesize_cable_traces
+
+
+@dataclass(frozen=True)
+class PlantSegment:
+    """One fiber cable of the plant and the IP links riding it."""
+
+    cable_name: str
+    site_a: str
+    site_b: str
+    distance_km: float
+    n_spans: int
+    link_ids: tuple[str, ...]
+    quality_penalty_db: float = 0.0
+
+    def line_system(self, *, span_length_km: float = 80.0) -> LineSystem:
+        cable = FiberCable(self.cable_name, span_length_km, self.n_spans)
+        return LineSystem(cable)
+
+    def baseline_snr_db(self, *, span_length_km: float = 80.0) -> float:
+        return (
+            self.line_system(span_length_km=span_length_km).snr_db()
+            - self.quality_penalty_db
+        )
+
+
+@dataclass(frozen=True)
+class PlantConfig:
+    """Knobs of plant construction."""
+
+    span_length_km: float = 80.0
+    #: minimum spans even for co-located sites (patch + one amp hut)
+    min_spans: int = 1
+    #: per-cable aging/splice penalty: exponential scale, dB
+    quality_penalty_scale_db: float = 1.2
+    quality_penalty_cap_db: float = 5.0
+    #: per-direction wavelength ripple, dB (std, clipped +-1.5)
+    ripple_sigma_db: float = 0.4
+    noise: NoiseModel = field(
+        default_factory=lambda: NoiseModel(sigma_db=0.2, wander_amplitude_db=0.25)
+    )
+    event_rates: EventRates = field(default_factory=lambda: PAPER_EVENT_RATES)
+
+
+class FiberPlant:
+    """The optical plant underneath one IP topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        coordinates: Mapping[str, tuple[float, float]],
+        *,
+        config: PlantConfig | None = None,
+        seed: int = 0,
+    ):
+        """Args:
+            topology: the IP layer.
+            coordinates: site -> (longitude, latitude) in degrees;
+                cable lengths are great-circle distances times a 1.3x
+                routing factor (fiber follows roads and rails, not
+                geodesics).
+            config: plant construction knobs.
+            seed: drives quality penalties, ripple and telemetry.
+        """
+        missing = [n for n in topology.nodes if n not in coordinates]
+        if missing:
+            raise ValueError(f"no coordinates for sites: {missing[:5]}")
+        self.topology = topology
+        self.coordinates = dict(coordinates)
+        self.config = config if config is not None else PlantConfig()
+        self.seed = seed
+        self.segments = self._build_segments()
+
+    # -- construction ---------------------------------------------------
+
+    #: fiber route length vs. great-circle distance
+    ROUTING_FACTOR = 1.3
+    _EARTH_RADIUS_KM = 6371.0
+
+    @classmethod
+    def distance_km(
+        cls, a: tuple[float, float], b: tuple[float, float]
+    ) -> float:
+        """Great-circle distance between (lon, lat) points, km,
+        inflated by the fiber routing factor."""
+        lon1, lat1 = map(math.radians, a)
+        lon2, lat2 = map(math.radians, b)
+        h = (
+            math.sin((lat2 - lat1) / 2.0) ** 2
+            + math.cos(lat1) * math.cos(lat2) * math.sin((lon2 - lon1) / 2.0) ** 2
+        )
+        geodesic = 2.0 * cls._EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+        return cls.ROUTING_FACTOR * geodesic
+
+    def _build_segments(self) -> dict[str, PlantSegment]:
+        cfg = self.config
+        rng = np.random.default_rng((self.seed, 0xF1BE))
+        pairs: dict[tuple[str, str], list[str]] = {}
+        for link in self.topology.real_links():
+            key = tuple(sorted((link.src, link.dst)))
+            pairs.setdefault(key, []).append(link.link_id)
+        segments = {}
+        for (a, b), link_ids in sorted(pairs.items()):
+            distance = self.distance_km(self.coordinates[a], self.coordinates[b])
+            n_spans = max(
+                int(math.ceil(distance / cfg.span_length_km)), cfg.min_spans
+            )
+            penalty = min(
+                float(rng.exponential(cfg.quality_penalty_scale_db)),
+                cfg.quality_penalty_cap_db,
+            )
+            name = f"fiber:{a}--{b}"
+            segments[name] = PlantSegment(
+                cable_name=name,
+                site_a=a,
+                site_b=b,
+                distance_km=distance,
+                n_spans=n_spans,
+                link_ids=tuple(sorted(link_ids)),
+                quality_penalty_db=penalty,
+            )
+        return segments
+
+    # -- queries ----------------------------------------------------------
+
+    def srlg_map(self) -> SrlgMap:
+        srlgs = SrlgMap()
+        for name, segment in self.segments.items():
+            srlgs.add(name, segment.link_ids)
+        return srlgs
+
+    def segment_of(self, link_id: str) -> PlantSegment:
+        for segment in self.segments.values():
+            if link_id in segment.link_ids:
+                return segment
+        raise KeyError(f"link {link_id!r} rides no segment")
+
+    def baseline_snrs(self) -> dict[str, float]:
+        """Physically derived SNR baseline per IP link id.
+
+        Both directions of a pair share the cable baseline; a small
+        per-direction ripple models the two fibers of the pair.
+        """
+        cfg = self.config
+        out: dict[str, float] = {}
+        for segment in self.segments.values():
+            base = segment.baseline_snr_db(span_length_km=cfg.span_length_km)
+            rng = np.random.default_rng(
+                (self.seed, zlib.crc32(segment.cable_name.encode()))
+            )
+            ripple = np.clip(
+                rng.normal(0.0, cfg.ripple_sigma_db, size=len(segment.link_ids)),
+                -1.5,
+                1.5,
+            )
+            for link_id, r in zip(segment.link_ids, ripple):
+                out[link_id] = base + float(r)
+        return out
+
+    def headroom_map(
+        self, *, table: ModulationTable = DEFAULT_MODULATIONS
+    ) -> dict[str, float]:
+        """Upgrade headroom per link, from the physical baselines."""
+        headroom = {}
+        for link_id, snr in self.baseline_snrs().items():
+            link = self.topology.link(link_id)
+            headroom[link_id] = table.headroom_above(link.capacity_gbps, snr)
+        return headroom
+
+    def with_headroom(
+        self, *, table: ModulationTable = DEFAULT_MODULATIONS
+    ) -> Topology:
+        """A copy of the IP topology with plant-derived headroom stamped on."""
+        out = self.topology.copy(f"{self.topology.name}-plant")
+        for link_id, headroom in self.headroom_map(table=table).items():
+            if headroom > 0:
+                out.replace_link(link_id, headroom_gbps=headroom)
+        return out
+
+    # -- telemetry ---------------------------------------------------------
+
+    def synthesize_telemetry(
+        self,
+        *,
+        years: float | None = None,
+        days: float | None = None,
+        interval_s: float = 900.0,
+    ) -> dict[str, SnrTrace]:
+        """SNR traces per IP link id, with shared-fate cable events.
+
+        Both directions of a segment come from one call to the cable
+        trace synthesiser, so cuts and amplifier events dent them at the
+        same samples — the correlation the SRLG analyses rely on.
+        """
+        timebase = Timebase.from_duration(
+            years=years, days=days, interval_s=interval_s
+        )
+        cfg = self.config
+        baselines = self.baseline_snrs()
+        synth = EventSynthesizer(cfg.event_rates)
+        traces: dict[str, SnrTrace] = {}
+        for segment in self.segments.values():
+            rng = np.random.default_rng(
+                (self.seed, zlib.crc32(segment.cable_name.encode()), 1)
+            )
+            cable_events = synth.cable_events(timebase.duration_s, rng)
+            wavelength_events = {
+                idx: events
+                for idx in range(len(segment.link_ids))
+                if (events := synth.wavelength_events(timebase.duration_s, rng))
+            }
+            cable_traces = synthesize_cable_traces(
+                segment.cable_name,
+                np.array([baselines[i] for i in segment.link_ids]),
+                timebase,
+                cable_events,
+                wavelength_events,
+                cfg.noise,
+                rng,
+            )
+            for link_id, trace in zip(segment.link_ids, cable_traces):
+                traces[link_id] = trace
+        return traces
+
+    # -- spectrum ---------------------------------------------------------
+
+    def spectrum_assignments(self) -> dict[str, "SpectrumAssignment"]:
+        """First-fit DWDM channel assignment per segment.
+
+        Each IP link riding a segment takes one channel of the cable's
+        plan.  Raises when a segment carries more links than the grid
+        has channels — a physical impossibility worth failing loudly on.
+        """
+        from repro.optics.spectrum import SpectrumAssignment
+
+        out = {}
+        for name, segment in self.segments.items():
+            assignment = SpectrumAssignment()
+            for link_id in segment.link_ids:
+                assignment.assign_first_fit(link_id)
+            out[name] = assignment
+        return out
+
+    def __repr__(self) -> str:
+        total_km = sum(s.distance_km for s in self.segments.values())
+        return (
+            f"FiberPlant({self.topology.name!r}, segments={len(self.segments)}, "
+            f"route-km={total_km:.0f})"
+        )

@@ -1,0 +1,204 @@
+"""Canonical WAN topologies for examples, tests and benchmarks.
+
+All builders return duplex (bidirectional) topologies with every
+wavelength configured at the paper's default 100 Gbps.  Headroom is left
+at zero — the controller layer fills it in from telemetry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.topology import Topology
+
+DEFAULT_CAPACITY_GBPS = 100.0
+
+
+def figure7_topology(capacity_gbps: float = DEFAULT_CAPACITY_GBPS) -> Topology:
+    """The four-node square of the paper's Figure 7.
+
+    A, B, C, D in a cycle: duplex links A-B, A-C, C-D, B-D at equal
+    capacity.  With demands A->B = C->D = 125 Gbps the cut {A,C}|{B,D}
+    carries only 200 Gbps, so satisfying both demands *requires* one
+    capacity upgrade — the example's point.
+    """
+    topo = Topology("figure7")
+    for a, b in (("A", "B"), ("A", "C"), ("C", "D"), ("B", "D")):
+        topo.add_duplex_link(a, b, capacity_gbps)
+    return topo
+
+
+def line_topology(
+    n_nodes: int, capacity_gbps: float = DEFAULT_CAPACITY_GBPS
+) -> Topology:
+    """A simple chain n0 - n1 - ... - n_{k-1} (easy to reason about)."""
+    if n_nodes < 2:
+        raise ValueError("a line needs at least two nodes")
+    topo = Topology(f"line{n_nodes}")
+    for i in range(n_nodes - 1):
+        topo.add_duplex_link(f"n{i}", f"n{i + 1}", capacity_gbps)
+    return topo
+
+
+def abilene(capacity_gbps: float = DEFAULT_CAPACITY_GBPS) -> Topology:
+    """The 11-node Abilene/Internet2 research backbone."""
+    edges = [
+        ("Seattle", "Sunnyvale"),
+        ("Seattle", "Denver"),
+        ("Sunnyvale", "LosAngeles"),
+        ("Sunnyvale", "Denver"),
+        ("LosAngeles", "Houston"),
+        ("Denver", "KansasCity"),
+        ("KansasCity", "Houston"),
+        ("KansasCity", "Indianapolis"),
+        ("Houston", "Atlanta"),
+        ("Atlanta", "Indianapolis"),
+        ("Atlanta", "WashingtonDC"),
+        ("Indianapolis", "Chicago"),
+        ("Chicago", "NewYork"),
+        ("WashingtonDC", "NewYork"),
+    ]
+    topo = Topology("abilene")
+    for a, b in edges:
+        topo.add_duplex_link(a, b, capacity_gbps)
+    return topo
+
+
+def b4_like(capacity_gbps: float = DEFAULT_CAPACITY_GBPS) -> Topology:
+    """A 12-node inter-datacenter WAN shaped like Google's B4.
+
+    Site names are anonymised regions; the edge set mirrors the
+    published B4 topology's density (average degree ~3).
+    """
+    edges = [
+        ("us-w1", "us-w2"),
+        ("us-w1", "us-c1"),
+        ("us-w2", "us-c1"),
+        ("us-w2", "us-sw"),
+        ("us-sw", "us-c1"),
+        ("us-c1", "us-e1"),
+        ("us-c1", "us-e2"),
+        ("us-e1", "us-e2"),
+        ("us-e1", "eu-w1"),
+        ("us-e2", "eu-w2"),
+        ("eu-w1", "eu-w2"),
+        ("eu-w1", "eu-c1"),
+        ("eu-w2", "eu-c1"),
+        ("us-w1", "asia-e1"),
+        ("us-w2", "asia-e2"),
+        ("asia-e1", "asia-e2"),
+        ("asia-e1", "asia-s1"),
+        ("asia-e2", "asia-s1"),
+        ("eu-c1", "asia-s1"),
+    ]
+    topo = Topology("b4-like")
+    for a, b in edges:
+        topo.add_duplex_link(a, b, capacity_gbps)
+    return topo
+
+
+def us_backbone_like(capacity_gbps: float = DEFAULT_CAPACITY_GBPS) -> Topology:
+    """A 21-node continental backbone resembling Tier-1 US fiber maps."""
+    edges = [
+        ("SEA", "PDX"), ("SEA", "SLC"), ("PDX", "SFO"),
+        ("SFO", "SJC"), ("SJC", "LAX"), ("SFO", "SLC"),
+        ("LAX", "PHX"), ("PHX", "ELP"), ("ELP", "DAL"),
+        ("SLC", "DEN"), ("DEN", "KSC"), ("DEN", "DAL"),
+        ("KSC", "CHI"), ("DAL", "HOU"), ("HOU", "ATL"),
+        ("CHI", "CLE"), ("CHI", "STL"), ("STL", "ATL"),
+        ("CLE", "NYC"), ("ATL", "MIA"), ("ATL", "IAD"),
+        ("IAD", "NYC"), ("NYC", "BOS"), ("IAD", "CLT"),
+        ("CLT", "ATL"), ("KSC", "STL"), ("LAX", "SLC"),
+    ]
+    topo = Topology("us-backbone-like")
+    for a, b in edges:
+        topo.add_duplex_link(a, b, capacity_gbps)
+    return topo
+
+
+#: site -> (longitude, latitude) degrees, for fiber-plant construction
+SITE_COORDINATES: dict[str, dict[str, tuple[float, float]]] = {
+    "abilene": {
+        "Seattle": (-122.3, 47.6),
+        "Sunnyvale": (-122.0, 37.4),
+        "LosAngeles": (-118.2, 34.1),
+        "Denver": (-105.0, 39.7),
+        "KansasCity": (-94.6, 39.1),
+        "Houston": (-95.4, 29.8),
+        "Atlanta": (-84.4, 33.7),
+        "Indianapolis": (-86.2, 39.8),
+        "Chicago": (-87.6, 41.9),
+        "WashingtonDC": (-77.0, 38.9),
+        "NewYork": (-74.0, 40.7),
+    },
+    "us-backbone-like": {
+        "SEA": (-122.3, 47.6), "PDX": (-122.7, 45.5), "SLC": (-111.9, 40.8),
+        "SFO": (-122.4, 37.8), "SJC": (-121.9, 37.3), "LAX": (-118.2, 34.1),
+        "PHX": (-112.1, 33.4), "ELP": (-106.5, 31.8), "DAL": (-96.8, 32.8),
+        "DEN": (-105.0, 39.7), "KSC": (-94.6, 39.1), "CHI": (-87.6, 41.9),
+        "HOU": (-95.4, 29.8), "ATL": (-84.4, 33.7), "CLE": (-81.7, 41.5),
+        "STL": (-90.2, 38.6), "NYC": (-74.0, 40.7), "MIA": (-80.2, 25.8),
+        "IAD": (-77.4, 38.9), "BOS": (-71.1, 42.4), "CLT": (-80.8, 35.2),
+    },
+    "b4-like": {
+        "us-w1": (-122.3, 47.6), "us-w2": (-121.9, 37.3),
+        "us-sw": (-112.1, 33.4), "us-c1": (-95.0, 39.0),
+        "us-e1": (-77.4, 38.9), "us-e2": (-74.0, 40.7),
+        "eu-w1": (-0.1, 51.5), "eu-w2": (2.3, 48.9), "eu-c1": (8.7, 50.1),
+        "asia-e1": (139.7, 35.7), "asia-e2": (121.5, 25.0),
+        "asia-s1": (103.8, 1.4),
+    },
+}
+
+
+def site_coordinates(topology: Topology) -> dict[str, tuple[float, float]]:
+    """(lon, lat) per site for a canonical topology, by its name.
+
+    Raises :class:`KeyError` for topologies without a coordinate set
+    (lines, squares and random WANs are abstract).
+    """
+    try:
+        coords = SITE_COORDINATES[topology.name]
+    except KeyError:
+        raise KeyError(
+            f"no site coordinates for topology {topology.name!r}; "
+            f"known: {sorted(SITE_COORDINATES)}"
+        ) from None
+    return dict(coords)
+
+
+def random_wan(
+    n_nodes: int,
+    rng: np.random.Generator,
+    *,
+    mean_degree: float = 3.0,
+    capacity_gbps: float = DEFAULT_CAPACITY_GBPS,
+) -> Topology:
+    """A random connected WAN: a ring backbone plus random chords.
+
+    The ring guarantees strong connectivity; chords are added until the
+    average node degree reaches ``mean_degree``.
+    """
+    if n_nodes < 3:
+        raise ValueError("need at least three nodes for a ring")
+    if mean_degree < 2.0:
+        raise ValueError("mean degree below 2 cannot stay connected")
+    topo = Topology(f"random{n_nodes}")
+    names = [f"n{i}" for i in range(n_nodes)]
+    for i in range(n_nodes):
+        topo.add_duplex_link(names[i], names[(i + 1) % n_nodes], capacity_gbps)
+    existing = {frozenset((names[i], names[(i + 1) % n_nodes])) for i in range(n_nodes)}
+    target_duplex = int(round(mean_degree * n_nodes / 2))
+    attempts = 0
+    while len(existing) < target_duplex and attempts < 50 * n_nodes:
+        attempts += 1
+        i, j = rng.integers(0, n_nodes, size=2)
+        if i == j:
+            continue
+        pair = frozenset((names[int(i)], names[int(j)]))
+        if pair in existing:
+            continue
+        a, b = sorted(pair)
+        topo.add_duplex_link(a, b, capacity_gbps)
+        existing.add(pair)
+    return topo

@@ -1,0 +1,133 @@
+"""Topology sanity checks.
+
+Config-driven topologies (and programmatic ones assembled from plant
+data) deserve the same validation a router would apply before
+accepting a config push.  :func:`validate_topology` returns a list of
+human-readable findings; an empty list means the graph is deployable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.net.topology import Topology
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation finding."""
+
+    severity: str  # "error" | "warning"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.message}"
+
+
+def validate_topology(
+    topology: Topology,
+    *,
+    expect_duplex: bool = True,
+    max_parallel_links: int = 96,
+) -> list[Finding]:
+    """Audit a topology for deployability.
+
+    Errors (would break TE or physics):
+
+    * no nodes / no links;
+    * not strongly connected (some demands can never be served);
+    * more parallel wavelengths between a node pair than a fiber has
+      channels (``max_parallel_links``).
+
+    Warnings (legal but suspicious):
+
+    * isolated nodes (sites with no links at all);
+    * asymmetric duplex pairs when ``expect_duplex`` (an A->B without a
+      B->A, or with mismatched capacity) — almost always a typo;
+    * fake links present (validating an augmented graph usually means
+      someone passed the wrong object).
+    """
+    findings: list[Finding] = []
+    if topology.n_nodes == 0:
+        return [Finding("error", "topology has no nodes")]
+    if topology.n_links == 0:
+        return [Finding("error", "topology has no links")]
+
+    isolated = [
+        n
+        for n in topology.nodes
+        if not topology.out_links(n) and not topology.in_links(n)
+    ]
+    for node in isolated:
+        findings.append(Finding("warning", f"node {node} has no links"))
+
+    g = nx.DiGraph()
+    g.add_nodes_from(n for n in topology.nodes if n not in isolated)
+    for link in topology.links:
+        g.add_edge(link.src, link.dst)
+    if g.number_of_nodes() > 1 and not nx.is_strongly_connected(g):
+        components = list(nx.strongly_connected_components(g))
+        findings.append(
+            Finding(
+                "error",
+                f"not strongly connected: {len(components)} components "
+                f"(largest has {max(len(c) for c in components)} nodes)",
+            )
+        )
+
+    pair_counts: dict[tuple[str, str], int] = {}
+    for link in topology.links:
+        pair_counts[link.endpoints] = pair_counts.get(link.endpoints, 0) + 1
+    for (src, dst), count in pair_counts.items():
+        if count > max_parallel_links:
+            findings.append(
+                Finding(
+                    "error",
+                    f"{count} parallel links {src}->{dst} exceed the "
+                    f"{max_parallel_links}-channel fiber grid",
+                )
+            )
+
+    if expect_duplex:
+        for link in topology.real_links():
+            reverse = topology.links_between(link.dst, link.src)
+            if not reverse:
+                findings.append(
+                    Finding(
+                        "warning",
+                        f"{link.src}->{link.dst} has no reverse direction",
+                    )
+                )
+            elif not any(
+                abs(r.capacity_gbps - link.capacity_gbps) < 1e-9 for r in reverse
+            ):
+                findings.append(
+                    Finding(
+                        "warning",
+                        f"{link.src}<->{link.dst} capacities are asymmetric",
+                    )
+                )
+
+    fakes = topology.fake_links()
+    if fakes:
+        findings.append(
+            Finding(
+                "warning",
+                f"{len(fakes)} fake (augmentation) links present — "
+                f"did you mean to validate the physical graph?",
+            )
+        )
+    return findings
+
+
+def assert_deployable(topology: Topology, **kwargs) -> None:
+    """Raise :class:`ValueError` on any error-severity finding."""
+    errors = [
+        f for f in validate_topology(topology, **kwargs) if f.severity == "error"
+    ]
+    if errors:
+        raise ValueError(
+            "topology not deployable:\n" + "\n".join(str(e) for e in errors)
+        )

@@ -1,0 +1,158 @@
+"""Signal constellations for the testbed figures (Figure 5).
+
+The paper's Figure 5 shows constellation diagrams captured from the BVT
+testbed at 100 Gbps (QPSK), 150 Gbps (8QAM) and 200 Gbps (16QAM).  This
+module provides ideal constellation geometries, AWGN sampling at a target
+SNR, and the error-vector-magnitude (EVM) / symbol-error statistics a
+coherent receiver would report.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.optics.units import db_to_linear, linear_to_db
+
+
+def _qam_square(order: int) -> list[complex]:
+    """Points of a square M-QAM grid, M a perfect even square (4, 16, 64)."""
+    side = int(round(math.sqrt(order)))
+    if side * side != order or side % 2 != 0:
+        raise ValueError(f"{order} is not an even-sided square QAM order")
+    levels = [2 * k - (side - 1) for k in range(side)]
+    return [complex(i, q) for q in levels for i in levels]
+
+
+def _psk(order: int) -> list[complex]:
+    """Points of an M-PSK ring."""
+    return [cmath.exp(2j * math.pi * (k / order + 1 / (2 * order))) for k in range(order)]
+
+
+def _star_8qam() -> list[complex]:
+    """8QAM as two QPSK rings (the geometry coherent DSPs typically use)."""
+    inner = [cmath.exp(1j * (math.pi / 4 + k * math.pi / 2)) for k in range(4)]
+    outer = [(1 + math.sqrt(3)) * cmath.exp(1j * k * math.pi / 2) for k in range(4)]
+    return inner + outer
+
+
+@dataclass(frozen=True)
+class ConstellationSample:
+    """Noisy received symbols plus receiver-side quality statistics."""
+
+    symbols: np.ndarray  # complex received samples
+    ideal: np.ndarray  # transmitted (ideal) points, aligned with symbols
+    evm_percent: float  # RMS error vector magnitude, percent of RMS signal
+    symbol_error_rate: float
+    measured_snr_db: float
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+
+class Constellation:
+    """An ideal constellation that can be sampled through an AWGN channel.
+
+    The points are normalised to unit average energy, so an AWGN noise
+    power of ``1 / snr_linear`` realises the requested SNR exactly in
+    expectation.
+    """
+
+    _GEOMETRIES = {
+        "BPSK": lambda: [complex(-1, 0), complex(1, 0)],
+        "QPSK": lambda: _psk(4),
+        "8QAM": _star_8qam,
+        "8QAM-hybrid": _star_8qam,
+        "16QAM": lambda: _qam_square(16),
+        "16QAM-hybrid": lambda: _qam_square(16),
+        "64QAM": lambda: _qam_square(64),
+    }
+
+    def __init__(self, name: str, points: Sequence[complex] | None = None):
+        if points is None:
+            try:
+                points = self._GEOMETRIES[name]()
+            except KeyError:
+                raise ValueError(
+                    f"unknown constellation {name!r}; "
+                    f"known: {sorted(self._GEOMETRIES)}"
+                ) from None
+        pts = np.asarray(points, dtype=complex)
+        if len(pts) < 2:
+            raise ValueError("a constellation needs at least two points")
+        energy = float(np.mean(np.abs(pts) ** 2))
+        self._points = pts / math.sqrt(energy)
+        self.name = name
+
+    @property
+    def points(self) -> np.ndarray:
+        """Unit-average-energy ideal constellation points."""
+        return self._points
+
+    @property
+    def order(self) -> int:
+        return len(self._points)
+
+    @property
+    def bits_per_symbol(self) -> float:
+        return math.log2(self.order)
+
+    def min_distance(self) -> float:
+        """Smallest Euclidean distance between two distinct points."""
+        diffs = self._points[:, None] - self._points[None, :]
+        dist = np.abs(diffs)
+        np.fill_diagonal(dist, np.inf)
+        return float(dist.min())
+
+    def sample(
+        self,
+        n_symbols: int,
+        snr_db: float,
+        rng: np.random.Generator,
+    ) -> ConstellationSample:
+        """Transmit ``n_symbols`` uniform random symbols through AWGN.
+
+        Returns the received cloud plus EVM, SER and the SNR measured from
+        the realised noise (which converges to ``snr_db`` as n grows).
+        """
+        if n_symbols <= 0:
+            raise ValueError("n_symbols must be positive")
+        tx_idx = rng.integers(0, self.order, size=n_symbols)
+        tx = self._points[tx_idx]
+        noise_power = 1.0 / db_to_linear(snr_db)
+        scale = math.sqrt(noise_power / 2.0)
+        noise = scale * (
+            rng.standard_normal(n_symbols) + 1j * rng.standard_normal(n_symbols)
+        )
+        rx = tx + noise
+
+        error = rx - tx
+        signal_rms = float(np.sqrt(np.mean(np.abs(tx) ** 2)))
+        error_rms = float(np.sqrt(np.mean(np.abs(error) ** 2)))
+        evm_percent = 100.0 * error_rms / signal_rms
+
+        decided = self.decide(rx)
+        ser = float(np.mean(decided != tx_idx))
+
+        realised_noise = float(np.mean(np.abs(error) ** 2))
+        measured_snr_db = linear_to_db(1.0 / realised_noise) if realised_noise else 99.0
+        return ConstellationSample(
+            symbols=rx,
+            ideal=tx,
+            evm_percent=evm_percent,
+            symbol_error_rate=ser,
+            measured_snr_db=measured_snr_db,
+        )
+
+    def decide(self, received: np.ndarray) -> np.ndarray:
+        """Minimum-distance hard decision: indices of the nearest points."""
+        rx = np.asarray(received, dtype=complex)
+        dist = np.abs(rx[:, None] - self._points[None, :])
+        return np.argmin(dist, axis=1)
+
+    def __repr__(self) -> str:
+        return f"Constellation({self.name!r}, order={self.order})"

@@ -1,0 +1,185 @@
+"""The modulation-format ladder and its required-SNR thresholds.
+
+The paper's hardware exposes five capacity denominations per wavelength —
+100, 125, 150, 175 and 200 Gbps — plus a degraded 50 Gbps fallback used in
+the availability analysis (Section 2.2).  Each denomination requires a
+minimum SNR; the paper prints two anchors:
+
+* 100 Gbps requires 6.5 dB (Section 2.1), and
+* 50 Gbps requires 3.0 dB (Section 2.2).
+
+The remaining thresholds are "specific to our hardware, fiber length,
+fiber type, and wavelength" and are not printed.  We interpolate them on
+the standard coherent-DSP ladder: at a fixed symbol rate, each step of
+~0.5 bit/symbol/polarisation costs roughly 2 dB of SNR in this regime,
+which both reproduces the two printed anchors and produces the capacity
+CDF shape of Figure 2b.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+#: Sentinel SNR (dB) reported by a receiver that sees no light at all.
+#: Matches :data:`repro.optics.units.DB_FLOOR`.
+LOSS_OF_LIGHT_SNR_DB = -60.0
+
+
+@dataclass(frozen=True, order=True)
+class ModulationFormat:
+    """One rung of the bandwidth-variable transceiver's capacity ladder.
+
+    Attributes:
+        capacity_gbps: line rate delivered to the IP layer.
+        required_snr_db: minimum SNR at which the format closes with the
+            line system's FEC; below this the link is unusable at this
+            rate.
+        name: marketing/DSP name of the constellation (e.g. ``"16QAM"``).
+        bits_per_symbol: information bits per symbol per polarisation
+            (after FEC overhead), used by the constellation module.
+    """
+
+    capacity_gbps: float
+    required_snr_db: float
+    name: str = field(compare=False, default="")
+    bits_per_symbol: float = field(compare=False, default=2.0)
+
+    def supports(self, snr_db: float) -> bool:
+        """Return True if a signal at ``snr_db`` can carry this format."""
+        return snr_db >= self.required_snr_db
+
+
+def _default_formats() -> tuple[ModulationFormat, ...]:
+    return (
+        ModulationFormat(50.0, 3.0, name="BPSK", bits_per_symbol=1.0),
+        ModulationFormat(100.0, 6.5, name="QPSK", bits_per_symbol=2.0),
+        ModulationFormat(125.0, 8.5, name="8QAM-hybrid", bits_per_symbol=2.5),
+        ModulationFormat(150.0, 10.5, name="8QAM", bits_per_symbol=3.0),
+        ModulationFormat(175.0, 12.5, name="16QAM-hybrid", bits_per_symbol=3.5),
+        ModulationFormat(200.0, 14.5, name="16QAM", bits_per_symbol=4.0),
+    )
+
+
+class ModulationTable:
+    """An ordered, queryable ladder of :class:`ModulationFormat` entries.
+
+    The table answers the two questions the rest of the system asks:
+
+    * *feasibility*: the fastest format a given SNR supports
+      (:meth:`best_for_snr`), and
+    * *thresholds*: the SNR a given capacity requires
+      (:meth:`required_snr`).
+
+    Formats must have strictly increasing capacity and strictly increasing
+    required SNR — a faster format that needed less SNR would make the
+    slower one pointless and usually indicates a typo in a config.
+    """
+
+    def __init__(self, formats: Iterable[ModulationFormat] | None = None):
+        entries = tuple(sorted(formats if formats is not None else _default_formats()))
+        if not entries:
+            raise ValueError("a modulation table needs at least one format")
+        for lo, hi in zip(entries, entries[1:]):
+            if hi.capacity_gbps <= lo.capacity_gbps:
+                raise ValueError(
+                    f"duplicate or non-increasing capacity: "
+                    f"{lo.capacity_gbps} then {hi.capacity_gbps}"
+                )
+            if hi.required_snr_db <= lo.required_snr_db:
+                raise ValueError(
+                    f"required SNR must increase with capacity: "
+                    f"{hi.capacity_gbps} Gbps needs {hi.required_snr_db} dB "
+                    f"but {lo.capacity_gbps} Gbps needs {lo.required_snr_db} dB"
+                )
+        self._formats = entries
+        self._thresholds = [f.required_snr_db for f in entries]
+        self._by_capacity = {f.capacity_gbps: f for f in entries}
+
+    def __iter__(self) -> Iterator[ModulationFormat]:
+        return iter(self._formats)
+
+    def __len__(self) -> int:
+        return len(self._formats)
+
+    def __repr__(self) -> str:
+        rungs = ", ".join(
+            f"{f.capacity_gbps:g}G@{f.required_snr_db:g}dB" for f in self._formats
+        )
+        return f"ModulationTable({rungs})"
+
+    @property
+    def formats(self) -> Sequence[ModulationFormat]:
+        return self._formats
+
+    @property
+    def capacities_gbps(self) -> tuple[float, ...]:
+        return tuple(f.capacity_gbps for f in self._formats)
+
+    @property
+    def min_capacity_gbps(self) -> float:
+        return self._formats[0].capacity_gbps
+
+    @property
+    def max_capacity_gbps(self) -> float:
+        return self._formats[-1].capacity_gbps
+
+    def format_for_capacity(self, capacity_gbps: float) -> ModulationFormat:
+        """Return the format carrying exactly ``capacity_gbps``.
+
+        Raises :class:`KeyError` for capacities not on the ladder; callers
+        that want "the best format not exceeding c" should iterate.
+        """
+        try:
+            return self._by_capacity[capacity_gbps]
+        except KeyError:
+            raise KeyError(
+                f"no modulation format with capacity {capacity_gbps} Gbps; "
+                f"ladder is {self.capacities_gbps}"
+            ) from None
+
+    def required_snr(self, capacity_gbps: float) -> float:
+        """SNR (dB) needed to run at ``capacity_gbps``."""
+        return self.format_for_capacity(capacity_gbps).required_snr_db
+
+    def best_for_snr(self, snr_db: float) -> ModulationFormat | None:
+        """Fastest format supported at ``snr_db``, or None below the ladder.
+
+        A None return is the "link is down" case: the signal cannot close
+        even at the slowest rate.
+        """
+        # thresholds are sorted ascending; find rightmost threshold <= snr.
+        idx = bisect.bisect_right(self._thresholds, snr_db) - 1
+        if idx < 0:
+            return None
+        return self._formats[idx]
+
+    def feasible_capacity(self, snr_db: float) -> float:
+        """Fastest feasible capacity (Gbps) at ``snr_db``; 0.0 if down."""
+        best = self.best_for_snr(snr_db)
+        return best.capacity_gbps if best is not None else 0.0
+
+    def headroom_above(self, capacity_gbps: float, snr_db: float) -> float:
+        """Extra capacity (Gbps) available beyond ``capacity_gbps`` at ``snr_db``.
+
+        This is the quantity Algorithm 1 writes into its ``U`` matrix.
+        Never negative: if the SNR cannot even sustain the current
+        capacity the headroom is zero (the *reduction* path is handled by
+        the augmentation layer removing fake links, per Section 4.2).
+        """
+        return max(self.feasible_capacity(snr_db) - capacity_gbps, 0.0)
+
+    def upgrade_steps(
+        self, capacity_gbps: float, snr_db: float
+    ) -> tuple[ModulationFormat, ...]:
+        """All ladder rungs strictly above ``capacity_gbps`` feasible at ``snr_db``."""
+        return tuple(
+            f
+            for f in self._formats
+            if f.capacity_gbps > capacity_gbps and f.supports(snr_db)
+        )
+
+
+#: The ladder used throughout the reproduction unless a caller overrides it.
+DEFAULT_MODULATIONS = ModulationTable()

@@ -1,0 +1,79 @@
+"""SNR bookkeeping: budgets, margins and feasible-capacity lookups.
+
+This is the thin layer the rest of the system talks to when it has an SNR
+in hand and wants an operational answer: *what capacity can this carry*,
+*how much margin does the current configuration have*, *is this a failure
+at the configured rate*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.optics.modulation import DEFAULT_MODULATIONS, ModulationTable
+
+
+def required_snr_db(
+    capacity_gbps: float, table: ModulationTable = DEFAULT_MODULATIONS
+) -> float:
+    """SNR threshold (dB) for ``capacity_gbps`` on the given ladder."""
+    return table.required_snr(capacity_gbps)
+
+
+def feasible_capacity_gbps(
+    snr_db: float, table: ModulationTable = DEFAULT_MODULATIONS
+) -> float:
+    """Fastest capacity (Gbps) a signal at ``snr_db`` can carry; 0 if down."""
+    return table.feasible_capacity(snr_db)
+
+
+@dataclass(frozen=True)
+class SnrBudget:
+    """The operating point of one wavelength: SNR vs. configured capacity.
+
+    Wraps the three questions operators ask of a link's signal quality:
+
+    * :attr:`margin_db` — distance between the SNR and the configured
+      capacity's threshold (the "provisioned margin" of Section 2.1),
+    * :attr:`headroom_gbps` — how much faster the link could run,
+    * :attr:`is_failed` — whether today's binary up/down rule would have
+      declared the link down.
+    """
+
+    snr_db: float
+    configured_capacity_gbps: float
+    table: ModulationTable = DEFAULT_MODULATIONS
+
+    @property
+    def required_snr_db(self) -> float:
+        return self.table.required_snr(self.configured_capacity_gbps)
+
+    @property
+    def margin_db(self) -> float:
+        """SNR above (positive) or below (negative) the configured threshold."""
+        return self.snr_db - self.required_snr_db
+
+    @property
+    def is_failed(self) -> bool:
+        """True when the binary up/down rule declares the link down."""
+        return self.margin_db < 0.0
+
+    @property
+    def feasible_capacity_gbps(self) -> float:
+        return self.table.feasible_capacity(self.snr_db)
+
+    @property
+    def headroom_gbps(self) -> float:
+        """Capacity the link could gain by re-modulating to its SNR."""
+        return self.table.headroom_above(self.configured_capacity_gbps, self.snr_db)
+
+    @property
+    def rescuable(self) -> bool:
+        """True when a failed link could still run at a lower rung.
+
+        This is the Section 2.2 opportunity: the SNR is below the
+        configured threshold (so today the link fails) but above the
+        ladder's minimum (so a dynamic link would only *flap* to a lower
+        capacity).
+        """
+        return self.is_failed and self.feasible_capacity_gbps > 0.0

@@ -1,0 +1,155 @@
+"""The DWDM channel grid: where wavelengths live on a fiber.
+
+The paper's unit of study is "an optical wavelength (i.e., IP link)" —
+one channel of the ITU-T C-band grid.  This module models that grid:
+
+* :class:`Channel` — one slot: index, centre frequency, wavelength;
+* :class:`ChannelPlan` — a fixed-grid plan (default: 50 GHz spacing,
+  96 channels across the C band, the plant the paper's backbone runs);
+* :class:`SpectrumAssignment` — first-fit allocation of channels to IP
+  links on one fiber, enforcing the capacity a single cable physically
+  has (Figure 1's "40 optical wavelengths on a wide area fiber cable"
+  is 40 slots of such a plan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: speed of light, m/s
+_C = 299_792_458.0
+#: low edge of the amplified C band on the ITU grid, THz
+C_BAND_START_THZ = 191.35
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One fixed-grid DWDM channel."""
+
+    index: int
+    frequency_thz: float
+
+    @property
+    def wavelength_nm(self) -> float:
+        return _C / (self.frequency_thz * 1e12) * 1e9
+
+    def __repr__(self) -> str:
+        return f"Channel({self.index}, {self.frequency_thz:.2f} THz)"
+
+
+class ChannelPlan:
+    """A fixed-grid channel plan climbing from the C-band edge.
+
+    Channels are numbered 0..n-1 from the low-frequency edge.  The
+    default — 96 channels at 50 GHz from 191.35 THz — spans the
+    amplified C band up to 196.10 THz (ITU-T G.694.1 grid points).
+    """
+
+    def __init__(
+        self,
+        *,
+        n_channels: int = 96,
+        spacing_ghz: float = 50.0,
+        start_thz: float = C_BAND_START_THZ,
+    ):
+        if n_channels <= 0:
+            raise ValueError("need at least one channel")
+        if spacing_ghz <= 0:
+            raise ValueError("spacing must be positive")
+        if start_thz <= 0:
+            raise ValueError("start frequency must be positive")
+        self.n_channels = n_channels
+        self.spacing_ghz = spacing_ghz
+        self.start_thz = start_thz
+        self._channels = tuple(
+            Channel(index=i, frequency_thz=start_thz + i * spacing_ghz / 1e3)
+            for i in range(n_channels)
+        )
+
+    def __len__(self) -> int:
+        return self.n_channels
+
+    def __iter__(self) -> Iterator[Channel]:
+        return iter(self._channels)
+
+    def channel(self, index: int) -> Channel:
+        if not 0 <= index < self.n_channels:
+            raise IndexError(
+                f"channel {index} outside 0..{self.n_channels - 1}"
+            )
+        return self._channels[index]
+
+    @property
+    def bandwidth_ghz(self) -> float:
+        return self.n_channels * self.spacing_ghz
+
+    def __repr__(self) -> str:
+        return (
+            f"ChannelPlan({self.n_channels} ch @ {self.spacing_ghz:g} GHz)"
+        )
+
+
+@dataclass
+class SpectrumAssignment:
+    """Channel occupancy of one fiber under a :class:`ChannelPlan`."""
+
+    plan: ChannelPlan = field(default_factory=ChannelPlan)
+
+    def __post_init__(self) -> None:
+        self._by_channel: dict[int, str] = {}
+        self._by_owner: dict[str, int] = {}
+
+    # -- allocation -------------------------------------------------------
+
+    def assign_first_fit(self, owner: str) -> Channel:
+        """Give ``owner`` (an IP link id) the lowest free channel.
+
+        Raises :class:`ValueError` when the fiber is full or the owner
+        already holds a channel — both indicate a planning bug upstream.
+        """
+        if owner in self._by_owner:
+            raise ValueError(f"{owner!r} already holds a channel")
+        for channel in self.plan:
+            if channel.index not in self._by_channel:
+                self._by_channel[channel.index] = owner
+                self._by_owner[owner] = channel.index
+                return channel
+        raise ValueError(
+            f"fiber full: all {self.plan.n_channels} channels assigned"
+        )
+
+    def release(self, owner: str) -> Channel:
+        """Free the owner's channel (e.g. the IP link was decommissioned)."""
+        try:
+            index = self._by_owner.pop(owner)
+        except KeyError:
+            raise KeyError(f"{owner!r} holds no channel") from None
+        del self._by_channel[index]
+        return self.plan.channel(index)
+
+    # -- queries --------------------------------------------------------
+
+    def channel_of(self, owner: str) -> Channel:
+        try:
+            return self.plan.channel(self._by_owner[owner])
+        except KeyError:
+            raise KeyError(f"{owner!r} holds no channel") from None
+
+    def owner_of(self, index: int) -> str | None:
+        return self._by_channel.get(index)
+
+    @property
+    def n_assigned(self) -> int:
+        return len(self._by_channel)
+
+    @property
+    def n_free(self) -> int:
+        return self.plan.n_channels - self.n_assigned
+
+    @property
+    def utilization(self) -> float:
+        return self.n_assigned / self.plan.n_channels
+
+    def owners(self) -> tuple[str, ...]:
+        return tuple(sorted(self._by_owner))

@@ -1,0 +1,55 @@
+"""Traffic-engineering substrate.
+
+These are the "existing TE algorithms" of the paper's Section 4 — the
+consumers of the graph abstraction.  None of them knows anything about
+SNR or dynamic capacities; they see a topology of capacitated links,
+some of which happen to carry a penalty, and demands:
+
+* :mod:`~repro.te.lp` — the edge-based multicommodity LP core
+  (maximum throughput, two-phase min-penalty-at-max-throughput,
+  max-concurrent-flow), solved with scipy's HiGHS backend;
+* :mod:`~repro.te.maxflow` — single-commodity max flow / min-cost
+  max-flow on the link-expanded graph (networkx cross-check);
+* :mod:`~repro.te.swan` — SWAN-style priority-class allocation;
+* :mod:`~repro.te.b4` — B4-style max-min fair progressive filling;
+* :mod:`~repro.te.cspf` — a greedy CSPF (MPLS-TE auto-bandwidth style)
+  baseline that routes each demand unsplit;
+* :mod:`~repro.te.solution` — the common solution/validation object.
+"""
+
+from repro.te.solution import FlowAssignment, TeSolution
+from repro.te.lp import MultiCommodityLp, LpOutcome
+from repro.te.pathlp import PathBasedLp, PathLpOutcome
+from repro.te.maxflow import max_flow, min_cost_max_flow, SingleCommodityResult
+from repro.te.decompose import (
+    Decomposition,
+    PathFlow,
+    decompose_assignment,
+    decompose_solution,
+)
+from repro.te.churn import ChurnReport, cumulative_churn, solution_churn
+from repro.te.swan import swan_allocate
+from repro.te.b4 import b4_allocate
+from repro.te.cspf import cspf_allocate
+
+__all__ = [
+    "FlowAssignment",
+    "TeSolution",
+    "MultiCommodityLp",
+    "LpOutcome",
+    "PathBasedLp",
+    "PathLpOutcome",
+    "max_flow",
+    "min_cost_max_flow",
+    "SingleCommodityResult",
+    "Decomposition",
+    "PathFlow",
+    "decompose_assignment",
+    "decompose_solution",
+    "ChurnReport",
+    "cumulative_churn",
+    "solution_churn",
+    "swan_allocate",
+    "b4_allocate",
+    "cspf_allocate",
+]

@@ -1,0 +1,104 @@
+"""Routing churn between consecutive TE solutions.
+
+The penalty function of Section 4 exists to control *churn*: every
+round that moves flow around costs rule updates, packet reordering and
+transient loss.  These metrics quantify it so ablations can show the
+trade-off (a cheaper-to-churn solution usually carries less traffic):
+
+* **flow churn** — total |delta| of per-link rates between rounds, in
+  Gbps (the volume the data plane must move);
+* **demand churn** — how many demands saw their routing change at all;
+* **rule churn** — how many (demand, link) entries appeared or
+  disappeared, a proxy for FIB/tunnel updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.te.solution import EPSILON, TeSolution
+
+
+@dataclass(frozen=True)
+class ChurnReport:
+    """Churn between two TE solutions over the same demand set."""
+
+    flow_churn_gbps: float
+    n_demands_rerouted: int
+    n_rule_changes: int
+    n_demands: int
+
+    @property
+    def rerouted_fraction(self) -> float:
+        return self.n_demands_rerouted / self.n_demands if self.n_demands else 0.0
+
+
+def solution_churn(
+    before: TeSolution,
+    after: TeSolution,
+    *,
+    rate_tolerance_gbps: float = 1e-3,
+) -> ChurnReport:
+    """Measure the routing delta from ``before`` to ``after``.
+
+    The two solutions must cover the same demands in the same order
+    (the controller guarantees this across rounds).  Rate changes
+    smaller than ``rate_tolerance_gbps`` are ignored — LP re-solves
+    jitter at numerical noise level even when nothing real moved.
+    """
+    if len(before.assignments) != len(after.assignments):
+        raise ValueError("solutions cover different demand sets")
+    flow_churn = 0.0
+    rerouted = 0
+    rule_changes = 0
+    for a, b in zip(before.assignments, after.assignments):
+        if a.demand.pair != b.demand.pair:
+            raise ValueError(
+                f"demand mismatch: {a.demand.pair} vs {b.demand.pair}"
+            )
+        link_ids = set(a.edge_flows) | set(b.edge_flows)
+        demand_moved = False
+        for link_id in link_ids:
+            rate_a = a.edge_flows.get(link_id, 0.0)
+            rate_b = b.edge_flows.get(link_id, 0.0)
+            delta = abs(rate_b - rate_a)
+            if delta <= rate_tolerance_gbps:
+                continue
+            flow_churn += delta
+            demand_moved = True
+            if rate_a <= EPSILON or rate_b <= EPSILON:
+                rule_changes += 1  # entry appeared or disappeared
+        if demand_moved:
+            rerouted += 1
+    return ChurnReport(
+        flow_churn_gbps=flow_churn,
+        n_demands_rerouted=rerouted,
+        n_rule_changes=rule_changes,
+        n_demands=len(before.assignments),
+    )
+
+
+def cumulative_churn(
+    solutions: list[TeSolution],
+    *,
+    rate_tolerance_gbps: float = 1e-3,
+) -> ChurnReport:
+    """Total churn across a sequence of rounds (pairwise-summed)."""
+    if len(solutions) < 2:
+        raise ValueError("need at least two rounds to measure churn")
+    total_flow = 0.0
+    total_rerouted = 0
+    total_rules = 0
+    for before, after in zip(solutions, solutions[1:]):
+        report = solution_churn(
+            before, after, rate_tolerance_gbps=rate_tolerance_gbps
+        )
+        total_flow += report.flow_churn_gbps
+        total_rerouted += report.n_demands_rerouted
+        total_rules += report.n_rule_changes
+    return ChurnReport(
+        flow_churn_gbps=total_flow,
+        n_demands_rerouted=total_rerouted,
+        n_rule_changes=total_rules,
+        n_demands=len(solutions[0].assignments),
+    )

@@ -1,0 +1,80 @@
+"""Greedy CSPF baseline (MPLS-TE auto-bandwidth style).
+
+The distributed-WAN strawman the centralised controllers are compared
+against: demands are admitted one at a time, each routed *unsplit* on
+the shortest path that still has room for the whole demand.  If no path
+fits the full volume, the demand gets the best partial placement on the
+single path with the most residual room.
+
+Order matters (as it does for real RSVP-TE reservations): demands are
+processed by priority, then by descending volume, which is the common
+operational heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.net.demands import Demand
+from repro.net.paths import k_shortest_paths
+from repro.net.topology import Topology
+from repro.te.solution import EPSILON, FlowAssignment, TeSolution
+
+
+def cspf_allocate(
+    topology: Topology,
+    demands: Sequence[Demand],
+    *,
+    k_candidates: int = 8,
+) -> TeSolution:
+    """Route each demand unsplit on the shortest path with room.
+
+    Args:
+        topology: (possibly augmented) network.
+        demands: demands; processed priority-ascending, volume-descending.
+        k_candidates: how many shortest paths to consider per demand
+            before falling back to partial placement.
+    """
+    if not demands:
+        raise ValueError("need at least one demand")
+    if k_candidates <= 0:
+        raise ValueError("k_candidates must be positive")
+
+    residual = {l.link_id: l.capacity_gbps for l in topology.links}
+    order = sorted(
+        range(len(demands)),
+        key=lambda i: (demands[i].priority, -demands[i].volume_gbps),
+    )
+    assignments: list[FlowAssignment | None] = [None] * len(demands)
+
+    for i in order:
+        demand = demands[i]
+        paths = k_shortest_paths(
+            topology, demand.src, demand.dst, k_candidates
+        )
+        flows: dict[str, float] = {}
+        allocated = 0.0
+        best_partial = None
+        best_room = 0.0
+        for path in paths:
+            room = min(residual[l.link_id] for l in path.links)
+            if room >= demand.volume_gbps - EPSILON:
+                allocated = demand.volume_gbps
+                for link in path.links:
+                    residual[link.link_id] -= allocated
+                    flows[link.link_id] = allocated
+                break
+            if room > best_room:
+                best_room = room
+                best_partial = path
+        else:
+            if best_partial is not None and best_room > EPSILON:
+                allocated = best_room
+                for link in best_partial.links:
+                    residual[link.link_id] -= allocated
+                    flows[link.link_id] = allocated
+        assignments[i] = FlowAssignment(
+            demand=demand, allocated_gbps=allocated, edge_flows=flows
+        )
+
+    return TeSolution(topology, [a for a in assignments if a is not None])

@@ -1,0 +1,345 @@
+"""Edge-based multicommodity flow LPs on scipy's HiGHS backend.
+
+This is the workhorse the SWAN/B4-style controllers and the Theorem-1
+machinery sit on.  The formulation is the standard node-arc one:
+
+* variables ``x[k, e]`` — flow of commodity ``k`` on link ``e`` — plus
+  one throughput variable ``t[k]`` per commodity;
+* conservation: at every node, commodity outflow minus inflow equals
+  ``+t[k]`` at the source, ``-t[k]`` at the sink, 0 elsewhere;
+* capacity: total flow on a link never exceeds its capacity;
+* demand: ``t[k] <= volume[k]``.
+
+Three objectives are exposed:
+
+* **max throughput** — maximise ``sum_k t[k]``;
+* **min-penalty at max throughput** — the two-phase program behind
+  Theorem 1: first find the maximum throughput ``T*``, then minimise
+  ``sum_e penalty[e] * flow[e]`` subject to throughput ``>= T*``.
+  This is exactly "min-cost max-flow" generalised to many commodities;
+* **max concurrent flow** — maximise ``lambda`` with every commodity
+  served ``lambda * volume`` (the classic fairness LP).
+
+Matrices are assembled sparse (COO) — an augmented 21-node backbone with
+~420 commodities stays comfortably within HiGHS territory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.net.demands import Demand
+from repro.net.topology import Topology
+from repro.te.solution import EPSILON, FlowAssignment, TeSolution
+
+
+@dataclass(frozen=True)
+class LpOutcome:
+    """A solved LP: the TE solution plus solver metadata."""
+
+    solution: TeSolution
+    objective_value: float
+    status: str
+    #: for max_concurrent_flow: the common satisfaction fraction
+    concurrency: float | None = None
+
+
+class MultiCommodityLp:
+    """Shared LP scaffolding for one (topology, demands) instance."""
+
+    def __init__(self, topology: Topology, demands: Sequence[Demand]):
+        if not demands:
+            raise ValueError("need at least one demand")
+        for d in demands:
+            for node in (d.src, d.dst):
+                if not topology.has_node(node):
+                    raise KeyError(f"demand endpoint {node!r} not in topology")
+        self.topology = topology
+        self.demands = tuple(demands)
+        self.links = list(topology.links)
+        self.nodes = list(topology.nodes)
+        self._link_index = {l.link_id: i for i, l in enumerate(self.links)}
+        self._node_index = {n: i for i, n in enumerate(self.nodes)}
+        self.n_links = len(self.links)
+        self.n_demands = len(self.demands)
+        # x variables: commodity-major layout; t variables appended
+        self.n_flow_vars = self.n_demands * self.n_links
+
+    # -- variable layout --------------------------------------------------
+
+    def _x(self, k: int, e: int) -> int:
+        return k * self.n_links + e
+
+    def _t(self, k: int) -> int:
+        return self.n_flow_vars + k
+
+    @property
+    def n_vars(self) -> int:
+        return self.n_flow_vars + self.n_demands
+
+    # -- constraint blocks --------------------------------------------------
+
+    def _conservation(self) -> tuple[sparse.coo_matrix, np.ndarray]:
+        """A_eq x = 0 rows: one per (commodity, node)."""
+        rows, cols, vals = [], [], []
+        row = 0
+        for k, demand in enumerate(self.demands):
+            src_i = self._node_index[demand.src]
+            dst_i = self._node_index[demand.dst]
+            for e, link in enumerate(self.links):
+                out_row = row + self._node_index[link.src]
+                in_row = row + self._node_index[link.dst]
+                rows.append(out_row)
+                cols.append(self._x(k, e))
+                vals.append(1.0)
+                rows.append(in_row)
+                cols.append(self._x(k, e))
+                vals.append(-1.0)
+            # net outflow at source must equal t_k; at sink, -t_k
+            rows.append(row + src_i)
+            cols.append(self._t(k))
+            vals.append(-1.0)
+            rows.append(row + dst_i)
+            cols.append(self._t(k))
+            vals.append(1.0)
+            row += len(self.nodes)
+        a_eq = sparse.coo_matrix(
+            (vals, (rows, cols)), shape=(row, self.n_vars)
+        )
+        return a_eq, np.zeros(row)
+
+    def _capacity(self) -> tuple[sparse.coo_matrix, np.ndarray]:
+        """A_ub x <= cap rows: one per link, summed over commodities."""
+        rows, cols, vals = [], [], []
+        for e in range(self.n_links):
+            for k in range(self.n_demands):
+                rows.append(e)
+                cols.append(self._x(k, e))
+                vals.append(1.0)
+        a_ub = sparse.coo_matrix(
+            (vals, (rows, cols)), shape=(self.n_links, self.n_vars)
+        )
+        b_ub = np.array([l.capacity_gbps for l in self.links])
+        return a_ub, b_ub
+
+    def _bounds(self, *, cap_throughput: bool = True) -> list[tuple[float, float | None]]:
+        bounds: list[tuple[float, float | None]] = [
+            (0.0, None) for _ in range(self.n_flow_vars)
+        ]
+        for demand in self.demands:
+            upper = demand.volume_gbps if cap_throughput else None
+            bounds.append((0.0, upper))
+        return bounds
+
+    def _penalty_vector(self) -> np.ndarray:
+        c = np.zeros(self.n_vars)
+        for e, link in enumerate(self.links):
+            if link.penalty:
+                for k in range(self.n_demands):
+                    c[self._x(k, e)] = link.penalty
+        return c
+
+    # -- solves -------------------------------------------------------------
+
+    def _run(self, c, a_ub, b_ub, a_eq, b_eq, bounds):
+        result = linprog(
+            c,
+            A_ub=a_ub.tocsr(),
+            b_ub=b_ub,
+            A_eq=a_eq.tocsr(),
+            b_eq=b_eq,
+            bounds=bounds,
+            method="highs",
+        )
+        if not result.success:
+            raise RuntimeError(f"LP failed: {result.message}")
+        return result
+
+    def _extract(self, x: np.ndarray) -> TeSolution:
+        assignments = []
+        for k, demand in enumerate(self.demands):
+            edge_flows = {}
+            for e, link in enumerate(self.links):
+                flow = float(x[self._x(k, e)])
+                if flow > EPSILON:
+                    edge_flows[link.link_id] = flow
+            assignments.append(
+                FlowAssignment(
+                    demand=demand,
+                    allocated_gbps=max(float(x[self._t(k)]), 0.0),
+                    edge_flows=edge_flows,
+                )
+            )
+        return TeSolution(self.topology, assignments)
+
+    def max_throughput(self, *, penalty_weight: float = 0.0) -> LpOutcome:
+        """Maximise total allocated volume.
+
+        ``penalty_weight`` > 0 folds the penalty into the objective as a
+        soft cost (``max sum t - w * sum p*x``) — the single-shot
+        approximation of the two-phase program.  Keep it well below
+        1/max_path_length or it will start sacrificing throughput.
+        """
+        a_eq, b_eq = self._conservation()
+        a_ub, b_ub = self._capacity()
+        c = penalty_weight * self._penalty_vector()
+        # tiny per-unit-flow cost keeps solutions off pointless cycles
+        c[: self.n_flow_vars] += 1e-9
+        for k in range(self.n_demands):
+            c[self._t(k)] = -1.0  # linprog minimises
+        result = self._run(c, a_ub, b_ub, a_eq, b_eq, self._bounds())
+        solution = self._extract(result.x)
+        return LpOutcome(
+            solution=solution,
+            objective_value=solution.total_allocated_gbps,
+            status="optimal",
+        )
+
+    def min_penalty_at_max_throughput(self) -> LpOutcome:
+        """The Theorem-1 objective: min-cost among max-throughput flows.
+
+        Phase 1 finds the maximum throughput ``T*``; phase 2 minimises
+        the penalty subject to total throughput >= T* (less a numerical
+        hair, so phase 2 stays feasible).
+        """
+        phase1 = self.max_throughput()
+        t_star = phase1.objective_value
+
+        a_eq, b_eq = self._conservation()
+        a_ub, b_ub = self._capacity()
+        # extra row: -sum_k t_k <= -(T* - eps)
+        extra = sparse.coo_matrix(
+            (
+                [-1.0] * self.n_demands,
+                (
+                    [0] * self.n_demands,
+                    [self._t(k) for k in range(self.n_demands)],
+                ),
+            ),
+            shape=(1, self.n_vars),
+        )
+        slack = max(1e-7 * max(t_star, 1.0), 1e-9)
+        a_ub_full = sparse.vstack([a_ub, extra])
+        b_ub_full = np.concatenate([b_ub, [-(t_star - slack)]])
+        c = self._penalty_vector()
+        # tiny tie-break keeps flow off zero-penalty cycles
+        c[: self.n_flow_vars] += 1e-9
+        result = self._run(c, a_ub_full, b_ub_full, a_eq, b_eq, self._bounds())
+        solution = self._extract(result.x)
+        return LpOutcome(
+            solution=solution,
+            objective_value=solution.penalty_cost,
+            status="optimal",
+        )
+
+    def min_max_utilization(self) -> LpOutcome:
+        """Route ALL demand while minimising the maximum link utilisation.
+
+        The classic load-balancing TE objective (B4/MPLS-TE flavour):
+        every commodity is fully served (infeasible instances raise),
+        and the objective spreads load so the hottest link is as cool
+        as possible.  ``objective_value`` is the achieved MLU; values
+        above 1.0 mean the demand does not fit and links would be
+        oversubscribed proportionally.
+        """
+        n = self.n_vars + 1  # mu (the MLU) is the last variable
+        mu = self.n_vars
+
+        a_eq_base, _ = self._conservation()
+        a_eq_base = sparse.coo_matrix(
+            (a_eq_base.data, (a_eq_base.row, a_eq_base.col)),
+            shape=(a_eq_base.shape[0], n),
+        )
+        # pin every commodity at full demand: t_k = d_k
+        rows = list(range(self.n_demands))
+        cols = [self._t(k) for k in range(self.n_demands)]
+        vals = [1.0] * self.n_demands
+        pin = sparse.coo_matrix((vals, (rows, cols)), shape=(self.n_demands, n))
+        a_eq = sparse.vstack([a_eq_base, pin])
+        b_eq = np.concatenate(
+            [
+                np.zeros(a_eq_base.shape[0]),
+                [d.volume_gbps for d in self.demands],
+            ]
+        )
+
+        # capacity rows become: sum_k x_ke - cap_e * mu <= 0
+        cap, cap_b = self._capacity()
+        mu_col = sparse.coo_matrix(
+            (-cap_b, (list(range(self.n_links)), [mu] * self.n_links)),
+            shape=(self.n_links, n),
+        )
+        cap = sparse.coo_matrix(
+            (cap.data, (cap.row, cap.col)), shape=(self.n_links, n)
+        )
+        a_ub = (cap + mu_col).tocoo()
+        b_ub = np.zeros(self.n_links)
+
+        bounds = self._bounds(cap_throughput=False)
+        bounds.append((0.0, None))  # mu free upward: report oversubscription
+        c = np.zeros(n)
+        c[: self.n_flow_vars] += 1e-9  # cycle suppression
+        c[mu] = 1.0
+        result = self._run(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        solution = self._extract(result.x[: self.n_vars])
+        return LpOutcome(
+            solution=solution,
+            objective_value=float(result.x[mu]),
+            status="optimal",
+        )
+
+    def max_concurrent_flow(self, *, cap_at_one: bool = True) -> LpOutcome:
+        """Maximise the common satisfaction fraction ``lambda``.
+
+        Every commodity is served exactly ``lambda * volume``; with
+        ``cap_at_one`` the fraction saturates at full satisfaction
+        (the variant TE controllers actually deploy).
+        """
+        # replace the per-commodity t_k with t_k = lambda * d_k by adding
+        # equality rows t_k - d_k * lambda = 0 and one extra variable.
+        n = self.n_vars + 1  # lambda is the last variable
+        lam = self.n_vars
+
+        a_eq_base, _ = self._conservation()
+        a_eq_base = sparse.coo_matrix(
+            (a_eq_base.data, (a_eq_base.row, a_eq_base.col)),
+            shape=(a_eq_base.shape[0], n),
+        )
+        rows, cols, vals = [], [], []
+        for k, demand in enumerate(self.demands):
+            rows.append(k)
+            cols.append(self._t(k))
+            vals.append(1.0)
+            rows.append(k)
+            cols.append(lam)
+            vals.append(-demand.volume_gbps)
+        tie = sparse.coo_matrix(
+            (vals, (rows, cols)), shape=(self.n_demands, n)
+        )
+        a_eq = sparse.vstack([a_eq_base, tie])
+        b_eq = np.zeros(a_eq.shape[0])
+
+        a_ub, b_ub = self._capacity()
+        a_ub = sparse.coo_matrix(
+            (a_ub.data, (a_ub.row, a_ub.col)), shape=(self.n_links, n)
+        )
+
+        bounds = self._bounds(cap_throughput=False)
+        bounds.append((0.0, 1.0 if cap_at_one else None))
+
+        c = np.zeros(n)
+        c[: self.n_flow_vars] += 1e-9  # cycle suppression, as above
+        c[lam] = -1.0
+        result = self._run(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        solution = self._extract(result.x[: self.n_vars])
+        return LpOutcome(
+            solution=solution,
+            objective_value=float(result.x[lam]),
+            status="optimal",
+            concurrency=float(result.x[lam]),
+        )

@@ -1,0 +1,102 @@
+"""Single-commodity max flow and min-cost max-flow.
+
+These run on the link-expanded simple digraph so parallel real/fake
+links keep their identity, and use networkx's combinatorial algorithms —
+an independent implementation path from the LP module, which the test
+suite exploits as a cross-check (LP optimum == networkx optimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.net.demands import Demand
+from repro.net.topology import Topology
+from repro.te.solution import EPSILON, FlowAssignment, TeSolution
+
+#: min-cost flow in networkx wants integer costs; penalties are scaled
+#: by this factor and rounded, giving 1e-3 penalty resolution.
+_COST_SCALE = 1000
+
+
+@dataclass(frozen=True)
+class SingleCommodityResult:
+    """Outcome of a single-commodity flow computation."""
+
+    value_gbps: float
+    edge_flows: dict[str, float]
+    penalty_cost: float
+
+    def as_solution(self, topology: Topology, src: str, dst: str) -> TeSolution:
+        demand = Demand(src, dst, self.value_gbps if self.value_gbps > 0 else 0.0)
+        return TeSolution(
+            topology,
+            [
+                FlowAssignment(
+                    demand=demand,
+                    allocated_gbps=self.value_gbps,
+                    edge_flows=self.edge_flows,
+                )
+            ],
+        )
+
+
+def _collect_link_flows(topology: Topology, flow_dict: dict) -> dict[str, float]:
+    """Map expanded-graph flows back onto link ids.
+
+    In the expanded graph every link's flow crosses ``u -> ('link', id)``
+    exactly once, so that edge's flow is the link's flow.
+    """
+    flows: dict[str, float] = {}
+    for u, targets in flow_dict.items():
+        if isinstance(u, tuple):
+            continue  # mid nodes handled from the entering edge
+        for v, f in targets.items():
+            if isinstance(v, tuple) and v[0] == "link" and f > EPSILON:
+                flows[v[1]] = flows.get(v[1], 0.0) + float(f)
+    return flows
+
+
+def max_flow(topology: Topology, src: str, dst: str) -> SingleCommodityResult:
+    """Maximum ``src -> dst`` flow over the (possibly augmented) topology."""
+    _check_endpoints(topology, src, dst)
+    g = topology.to_link_expanded_digraph()
+    value, flow_dict = nx.maximum_flow(g, src, dst, capacity="capacity")
+    flows = _collect_link_flows(topology, flow_dict)
+    penalty = sum(topology.link(i).penalty * f for i, f in flows.items())
+    return SingleCommodityResult(
+        value_gbps=float(value), edge_flows=flows, penalty_cost=penalty
+    )
+
+
+def min_cost_max_flow(topology: Topology, src: str, dst: str) -> SingleCommodityResult:
+    """Among maximum ``src -> dst`` flows, the one of least total penalty.
+
+    This is the exact object Theorem 1 reasons about: on an augmented
+    topology the cheapest max flow avoids fake (penalised) links unless
+    they buy extra throughput.
+    """
+    _check_endpoints(topology, src, dst)
+    g = topology.to_link_expanded_digraph()
+    # networkx max_flow_min_cost: integer weights strongly recommended
+    for u, v, data in g.edges(data=True):
+        data["weight"] = int(round(data.get("penalty", 0.0) * _COST_SCALE))
+    flow_dict = nx.max_flow_min_cost(g, src, dst, capacity="capacity")
+    flows = _collect_link_flows(topology, flow_dict)
+    value = sum(
+        f for i, f in flows.items() if topology.link(i).src == src
+    ) - sum(f for i, f in flows.items() if topology.link(i).dst == src)
+    penalty = sum(topology.link(i).penalty * f for i, f in flows.items())
+    return SingleCommodityResult(
+        value_gbps=float(value), edge_flows=flows, penalty_cost=penalty
+    )
+
+
+def _check_endpoints(topology: Topology, src: str, dst: str) -> None:
+    for node in (src, dst):
+        if not topology.has_node(node):
+            raise KeyError(f"no node {node!r} in topology")
+    if src == dst:
+        raise ValueError("src and dst must differ")

@@ -1,0 +1,108 @@
+"""SWAN-style priority-class traffic engineering.
+
+SWAN (Hong et al., SIGCOMM 2013) allocates traffic in priority order:
+interactive first, then elastic, then background.  Each class gets a
+max-concurrent-flow allocation over the capacity left by the classes
+above it — approximate max-min fairness across classes without starving
+the low ones inside a class.
+
+The implementation here is deliberately *unaware* of dynamic capacities:
+it takes whatever topology it is given.  Handing it an augmented
+topology (Section 4 of the paper) is what makes it capacity-adaptive —
+with zero code changes, which is the paper's whole point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.net.demands import Demand, demands_by_priority
+from repro.net.topology import Topology
+from repro.te.lp import MultiCommodityLp
+from repro.te.solution import EPSILON, FlowAssignment, TeSolution
+
+
+def swan_allocate(
+    topology: Topology,
+    demands: Sequence[Demand],
+    *,
+    penalty_weight: float = 0.0,
+) -> TeSolution:
+    """Allocate ``demands`` by priority class, SWAN style.
+
+    Within each class the allocation maximises the common satisfaction
+    fraction (max-concurrent-flow, capped at 1.0), then tops up with a
+    throughput-maximising pass so capacity the fairness objective leaves
+    stranded still gets used.  Residual capacities shrink between
+    classes.
+
+    ``penalty_weight`` is forwarded to the top-up pass — on an augmented
+    topology it biases the allocation away from links whose use implies
+    a capacity upgrade.
+    """
+    if not demands:
+        raise ValueError("need at least one demand")
+    working = topology.copy(f"{topology.name}-swan")
+    assignments: list[FlowAssignment] = []
+
+    for _, class_demands in demands_by_priority(list(demands)).items():
+        lp = MultiCommodityLp(working, class_demands)
+        fair = lp.max_concurrent_flow(cap_at_one=True)
+        class_solution = fair.solution
+        _consume_capacity(working, class_solution)
+        if fair.concurrency is not None and fair.concurrency < 1.0 - EPSILON:
+            # the fair share is a floor; top up with a throughput-
+            # maximising pass over the residual so capacity the fairness
+            # objective leaves stranded still gets used (SWAN's allocator
+            # iterates similarly after its fairness step)
+            residual_demands = [
+                replace(
+                    a.demand,
+                    volume_gbps=max(
+                        a.demand.volume_gbps - a.allocated_gbps, 0.0
+                    ),
+                )
+                for a in class_solution.assignments
+            ]
+            if any(d.volume_gbps > EPSILON for d in residual_demands):
+                topup = MultiCommodityLp(
+                    working, residual_demands
+                ).max_throughput(penalty_weight=penalty_weight).solution
+                class_solution = _merge(topology, class_solution, topup)
+                _consume_capacity(working, topup)
+        assignments.extend(class_solution.assignments)
+
+    return TeSolution(topology, assignments)
+
+
+def _merge(
+    topology: Topology, fair: TeSolution, topup: TeSolution
+) -> TeSolution:
+    """Sum the fair floor and the top-up, demand by demand."""
+    merged = []
+    for base, extra in zip(fair.assignments, topup.assignments):
+        flows = dict(base.edge_flows)
+        for link_id, flow in extra.edge_flows.items():
+            flows[link_id] = flows.get(link_id, 0.0) + flow
+        merged.append(
+            FlowAssignment(
+                demand=base.demand,
+                allocated_gbps=base.allocated_gbps + extra.allocated_gbps,
+                edge_flows=flows,
+            )
+        )
+    return TeSolution(topology, merged)
+
+
+def _consume_capacity(working: Topology, solution: TeSolution) -> None:
+    """Shrink ``working`` capacities by the flow the class used."""
+    for link in list(working.links):
+        used = solution.link_flow(link.link_id)
+        if used <= EPSILON:
+            continue
+        residual = link.capacity_gbps - used
+        if residual <= EPSILON:
+            working.remove_link(link.link_id)
+        else:
+            working.replace_link(link.link_id, capacity_gbps=residual)

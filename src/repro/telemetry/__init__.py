@@ -1,0 +1,70 @@
+"""SNR telemetry substrate.
+
+The paper's Section 2 analyses 2.5 years of 15-minute SNR samples for more
+than 2,000 production wavelengths.  That dataset is proprietary, so this
+package synthesises a statistically equivalent one:
+
+* a sampling grid (:mod:`~repro.telemetry.timebase`),
+* rare-event impairment processes per cable and per wavelength
+  (:mod:`~repro.telemetry.events`),
+* per-wavelength SNR traces: physical baseline + stationary noise + slow
+  wander + event penalties (:mod:`~repro.telemetry.traces`),
+* the highest-density-region statistic of Figure 2a
+  (:mod:`~repro.telemetry.hdr`),
+* range / threshold-crossing / failure-episode statistics
+  (:mod:`~repro.telemetry.stats`),
+* a backbone-scale dataset builder (:mod:`~repro.telemetry.dataset`).
+"""
+
+from repro.telemetry.timebase import Timebase
+from repro.telemetry.hdr import HdrInterval, highest_density_region
+from repro.telemetry.events import EventRates, EventSynthesizer, PAPER_EVENT_RATES
+from repro.telemetry.traces import (
+    MEASUREMENT_FLOOR_DB,
+    NoiseModel,
+    SnrTrace,
+    synthesize_cable_traces,
+)
+from repro.telemetry.stats import (
+    FailureEpisode,
+    LinkSummary,
+    snr_range_db,
+    summarize_trace,
+    threshold_episodes,
+)
+from repro.telemetry.dataset import BackboneConfig, BackboneDataset, CableSpec
+from repro.telemetry.io import (
+    load_summaries,
+    load_traces,
+    save_summaries,
+    save_traces,
+)
+from repro.telemetry.anomaly import DipAlert, EwmaDipDetector, detect_dips
+
+__all__ = [
+    "load_summaries",
+    "load_traces",
+    "save_summaries",
+    "save_traces",
+    "DipAlert",
+    "EwmaDipDetector",
+    "detect_dips",
+    "Timebase",
+    "HdrInterval",
+    "highest_density_region",
+    "EventRates",
+    "EventSynthesizer",
+    "PAPER_EVENT_RATES",
+    "MEASUREMENT_FLOOR_DB",
+    "NoiseModel",
+    "SnrTrace",
+    "synthesize_cable_traces",
+    "FailureEpisode",
+    "LinkSummary",
+    "snr_range_db",
+    "summarize_trace",
+    "threshold_episodes",
+    "BackboneConfig",
+    "BackboneDataset",
+    "CableSpec",
+]

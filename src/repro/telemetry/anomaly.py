@@ -1,0 +1,167 @@
+"""Online SNR anomaly detection.
+
+A dynamic-capacity controller that only reacts *after* SNR crosses a
+threshold still takes a hit while the BVT re-modulates.  A monitoring
+loop that flags abnormal SNR behaviour early lets the controller walk
+the capacity down before the link actually fails — turning even the
+detection into a proactive flap.
+
+The detector is a standard EWMA control chart: track an exponentially
+weighted mean and variance of the (slowly varying) signal; samples more
+than ``k_sigma`` below the band flag a dip, and recovery is declared
+once samples return inside it.  Robustness details that matter on real
+telemetry are handled: warm-up before alarming, and freezing the
+statistics during an alarm so the dip itself does not poison the
+baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.traces import SnrTrace
+
+
+class SignalState(enum.Enum):
+    WARMING_UP = "warming_up"
+    NORMAL = "normal"
+    DIP = "dip"
+
+
+@dataclass(frozen=True)
+class DipAlert:
+    """One detected SNR dip."""
+
+    start_index: int
+    end_index: int  # exclusive; == start while the dip is still open
+    depth_db: float  # baseline minus the deepest sample seen
+
+    @property
+    def n_samples(self) -> int:
+        return self.end_index - self.start_index
+
+
+class EwmaDipDetector:
+    """Streaming EWMA control chart over one link's SNR.
+
+    Args:
+        alpha: EWMA weight of the newest sample (0 < alpha < 1; small =
+            slow baseline).
+        k_sigma: alarm threshold in baseline standard deviations.
+        warmup: samples consumed before alarms may fire.
+        min_sigma_db: variance floor so an ultra-quiet link still needs
+            a real dip (not a 0.01 dB wiggle) to alarm.
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.05,
+        k_sigma: float = 5.0,
+        warmup: int = 32,
+        min_sigma_db: float = 0.08,
+    ):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if k_sigma <= 0:
+            raise ValueError("k_sigma must be positive")
+        if warmup < 2:
+            raise ValueError("warmup must be at least 2 samples")
+        if min_sigma_db <= 0:
+            raise ValueError("min_sigma_db must be positive")
+        self.alpha = alpha
+        self.k_sigma = k_sigma
+        self.warmup = warmup
+        self.min_sigma_db = min_sigma_db
+        self._mean = 0.0
+        self._var = 0.0
+        self._n = 0
+        self._state = SignalState.WARMING_UP
+        self._dip_start = 0
+        self._dip_min = math.inf
+
+    @property
+    def state(self) -> SignalState:
+        return self._state
+
+    @property
+    def baseline_db(self) -> float:
+        return self._mean
+
+    @property
+    def sigma_db(self) -> float:
+        return max(math.sqrt(max(self._var, 0.0)), self.min_sigma_db)
+
+    def update(self, snr_db: float, index: int) -> DipAlert | None:
+        """Feed one sample; returns a closed :class:`DipAlert` when a
+        dip ends, None otherwise."""
+        if self._n < self.warmup:
+            # classic running mean/variance during warm-up
+            self._n += 1
+            delta = snr_db - self._mean
+            self._mean += delta / self._n
+            self._var += (delta * (snr_db - self._mean) - self._var) / self._n
+            if self._n >= self.warmup:
+                self._state = SignalState.NORMAL
+            return None
+
+        threshold = self._mean - self.k_sigma * self.sigma_db
+        if self._state is SignalState.NORMAL:
+            if snr_db < threshold:
+                self._state = SignalState.DIP
+                self._dip_start = index
+                self._dip_min = snr_db
+                return None
+            # update statistics only on in-band samples
+            delta = snr_db - self._mean
+            self._mean += self.alpha * delta
+            self._var = (1.0 - self.alpha) * (self._var + self.alpha * delta * delta)
+            return None
+
+        # in a dip: statistics frozen, track the depth, wait for recovery
+        self._dip_min = min(self._dip_min, snr_db)
+        if snr_db >= threshold:
+            alert = DipAlert(
+                start_index=self._dip_start,
+                end_index=index,
+                depth_db=self._mean - self._dip_min,
+            )
+            self._state = SignalState.NORMAL
+            return alert
+        return None
+
+    def flush(self, end_index: int) -> DipAlert | None:
+        """Close an open dip at end-of-stream (for batch analyses)."""
+        if self._state is not SignalState.DIP:
+            return None
+        alert = DipAlert(
+            start_index=self._dip_start,
+            end_index=end_index,
+            depth_db=self._mean - self._dip_min,
+        )
+        self._state = SignalState.NORMAL
+        return alert
+
+
+def detect_dips(
+    trace: SnrTrace,
+    *,
+    alpha: float = 0.05,
+    k_sigma: float = 5.0,
+    warmup: int = 32,
+) -> list[DipAlert]:
+    """Batch-run the detector over a whole trace."""
+    detector = EwmaDipDetector(alpha=alpha, k_sigma=k_sigma, warmup=warmup)
+    alerts = []
+    for i, sample in enumerate(np.asarray(trace.snr_db, dtype=float)):
+        alert = detector.update(float(sample), i)
+        if alert is not None:
+            alerts.append(alert)
+    tail = detector.flush(len(trace.snr_db))
+    if tail is not None:
+        alerts.append(tail)
+    return alerts

@@ -1,0 +1,64 @@
+"""Highest-density-region (HDR) statistic of Figure 2a.
+
+The paper defines the HDR of a link's SNR as "the smallest interval in
+which 95% or more of the SNR values are concentrated".  For an empirical
+sample that is the classic shortest-interval estimator: sort the samples
+and slide a window of ``ceil(mass * n)`` consecutive order statistics,
+keeping the narrowest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class HdrInterval:
+    """The smallest interval holding at least ``mass`` of the sample."""
+
+    low: float
+    high: float
+    mass: float
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def highest_density_region(samples: np.ndarray, mass: float = 0.95) -> HdrInterval:
+    """Smallest interval containing at least ``mass`` of ``samples``.
+
+    Args:
+        samples: 1-D array of observations (need not be sorted).
+        mass: required fraction of samples inside the interval, in (0, 1].
+
+    Returns:
+        The narrowest ``[low, high]`` covering ``ceil(mass * n)`` samples.
+
+    The estimator is exact for the empirical distribution: no binning or
+    density fitting, so results are deterministic and reproducible.
+    Complexity is O(n log n) for the sort plus O(n) for the scan.
+    """
+    if not 0.0 < mass <= 1.0:
+        raise ValueError(f"mass must be in (0, 1], got {mass}")
+    data = np.asarray(samples, dtype=float).ravel()
+    if data.size == 0:
+        raise ValueError("cannot compute an HDR of an empty sample")
+    if np.isnan(data).any():
+        raise ValueError("samples contain NaN")
+
+    n = data.size
+    k = math.ceil(mass * n)  # samples the window must cover
+    if k >= n:
+        return HdrInterval(float(data.min()), float(data.max()), mass)
+
+    ordered = np.sort(data)
+    widths = ordered[k - 1 :] - ordered[: n - k + 1]
+    best = int(np.argmin(widths))
+    return HdrInterval(float(ordered[best]), float(ordered[best + k - 1]), mass)

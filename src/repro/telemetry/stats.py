@@ -1,0 +1,170 @@
+"""Range, threshold-crossing and failure-episode statistics.
+
+These are the reductions the paper applies to its telemetry:
+
+* **range** (max - min) and **HDR width** per link — Figure 2a;
+* **feasible capacity at the HDR lower bound** — Figure 2b ("we
+  calculate the feasible capacity for each link based on the lower SNR
+  limit of its highest density region");
+* **failure episodes**: maximal runs of samples below a capacity's SNR
+  threshold — Figures 3a (counts), 3b (durations) and 4c (lowest SNR
+  during the episode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optics.modulation import DEFAULT_MODULATIONS, ModulationTable
+from repro.telemetry.hdr import HdrInterval, highest_density_region
+from repro.telemetry.traces import SnrTrace
+
+
+@dataclass(frozen=True)
+class FailureEpisode:
+    """One maximal run of samples below a threshold."""
+
+    start_index: int
+    n_samples: int
+    min_snr_db: float
+    interval_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.n_samples * self.interval_s
+
+    @property
+    def duration_hours(self) -> float:
+        return self.duration_s / 3600.0
+
+
+def snr_range_db(snr_db: np.ndarray) -> float:
+    """The paper's "range" metric: max minus min of the trace."""
+    data = np.asarray(snr_db, dtype=float)
+    if data.size == 0:
+        raise ValueError("empty trace")
+    return float(data.max() - data.min())
+
+
+def threshold_episodes(
+    snr_db: np.ndarray, threshold_db: float, interval_s: float
+) -> list[FailureEpisode]:
+    """Maximal runs where ``snr < threshold`` (strict, per the up/down rule).
+
+    A link configured at capacity c is *down* whenever its SNR is below
+    c's required SNR; each maximal run of down samples is one failure
+    event in the paper's counting.
+    """
+    data = np.asarray(snr_db, dtype=float)
+    below = data < threshold_db
+    if not below.any():
+        return []
+    # edges of runs: +1 where a run starts, -1 where it ends
+    padded = np.diff(np.concatenate(([False], below, [False])).astype(int))
+    starts = np.flatnonzero(padded == 1)
+    ends = np.flatnonzero(padded == -1)  # exclusive
+    episodes = []
+    for s, e in zip(starts, ends):
+        episodes.append(
+            FailureEpisode(
+                start_index=int(s),
+                n_samples=int(e - s),
+                min_snr_db=float(data[s:e].min()),
+                interval_s=interval_s,
+            )
+        )
+    return episodes
+
+
+@dataclass(frozen=True)
+class CapacityFailureStats:
+    """Failure episodes a link would see if configured at one capacity."""
+
+    capacity_gbps: float
+    n_episodes: int
+    durations_h: tuple[float, ...]
+    min_snrs_db: tuple[float, ...]
+
+    @property
+    def total_downtime_h(self) -> float:
+        return float(sum(self.durations_h))
+
+    @property
+    def mean_duration_h(self) -> float:
+        return self.total_downtime_h / self.n_episodes if self.n_episodes else 0.0
+
+
+@dataclass(frozen=True)
+class LinkSummary:
+    """Everything Figures 2-4 need about one link, without its raw trace.
+
+    Produced by :func:`summarize_trace`; a
+    :class:`~repro.telemetry.dataset.BackboneDataset` streams these so a
+    2,000-link backbone never holds all traces in memory at once.
+    """
+
+    link_id: str
+    cable_name: str
+    baseline_db: float
+    range_db: float
+    hdr: HdrInterval
+    feasible_capacity_gbps: float
+    configured_capacity_gbps: float
+    failures_by_capacity: tuple[CapacityFailureStats, ...]
+
+    @property
+    def hdr_width_db(self) -> float:
+        return self.hdr.width
+
+    @property
+    def capacity_gain_gbps(self) -> float:
+        """Headroom over the configured capacity (never negative)."""
+        return max(self.feasible_capacity_gbps - self.configured_capacity_gbps, 0.0)
+
+    def failures_at(self, capacity_gbps: float) -> CapacityFailureStats:
+        for stats in self.failures_by_capacity:
+            if stats.capacity_gbps == capacity_gbps:
+                return stats
+        raise KeyError(f"no failure stats for {capacity_gbps} Gbps")
+
+
+def summarize_trace(
+    trace: SnrTrace,
+    *,
+    table: ModulationTable = DEFAULT_MODULATIONS,
+    configured_capacity_gbps: float = 100.0,
+    hdr_mass: float = 0.95,
+) -> LinkSummary:
+    """Reduce one trace to the per-link statistics of Figures 2-4.
+
+    The feasible capacity follows the paper exactly: it is the fastest
+    rung whose threshold the *HDR lower bound* clears — i.e. capacity is
+    chosen against the level the SNR sits above 95% of the time, not
+    against transient dips.
+    """
+    hdr = highest_density_region(trace.snr_db, mass=hdr_mass)
+    per_capacity = []
+    for fmt in table:
+        episodes = threshold_episodes(
+            trace.snr_db, fmt.required_snr_db, trace.timebase.interval_s
+        )
+        per_capacity.append(
+            CapacityFailureStats(
+                capacity_gbps=fmt.capacity_gbps,
+                n_episodes=len(episodes),
+                durations_h=tuple(e.duration_hours for e in episodes),
+                min_snrs_db=tuple(e.min_snr_db for e in episodes),
+            )
+        )
+    return LinkSummary(
+        link_id=trace.link_id,
+        cable_name=trace.cable_name,
+        baseline_db=trace.baseline_db,
+        range_db=snr_range_db(trace.snr_db),
+        hdr=hdr,
+        feasible_capacity_gbps=table.feasible_capacity(hdr.low),
+        configured_capacity_gbps=configured_capacity_gbps,
+        failures_by_capacity=tuple(per_capacity),
+    )

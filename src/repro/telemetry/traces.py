@@ -1,0 +1,204 @@
+"""Per-wavelength SNR trace synthesis.
+
+A trace is the sum of four components, floored at the measurement limit:
+
+``snr(t) = baseline + wander(t) + noise(t) - event_penalties(t)``
+
+* **baseline** — the physical operating point of the wavelength, from the
+  line-system budget (:mod:`repro.optics.fiber`) plus per-wavelength
+  ripple across the DWDM grid;
+* **wander** — a slow sinusoidal seasonal/thermal drift (fraction of a
+  dB to ~1 dB peak);
+* **noise** — stationary AR(1) measurement/polarisation noise at the
+  15-minute cadence;
+* **event penalties** — the rare dips of :mod:`repro.telemetry.events`;
+  loss-of-light pins the sample to the floor.
+
+Receivers cannot report SNR below the DSP's measurement limit, so traces
+are clipped at :data:`MEASUREMENT_FLOOR_DB` (0 dB) — which is why the
+paper's Figure 4c axis starts at 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optics.impairments import Impairment, ImpairmentScope
+from repro.telemetry.timebase import Timebase
+
+#: Lowest SNR a coherent receiver reports; loss of light reads as this.
+MEASUREMENT_FLOOR_DB = 0.0
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Stationary fluctuation model shared by the wavelengths of a cable.
+
+    Attributes:
+        sigma_db: standard deviation of the AR(1) noise, dB.
+        rho: lag-1 autocorrelation at the sampling cadence.
+        wander_amplitude_db: peak amplitude of the seasonal sinusoid.
+        wander_period_days: period of the seasonal sinusoid.
+    """
+
+    sigma_db: float = 0.15
+    rho: float = 0.9
+    wander_amplitude_db: float = 0.3
+    wander_period_days: float = 365.25
+
+    def __post_init__(self) -> None:
+        if self.sigma_db < 0:
+            raise ValueError("noise sigma must be non-negative")
+        if not 0.0 <= self.rho < 1.0:
+            raise ValueError("rho must be in [0, 1)")
+        if self.wander_amplitude_db < 0:
+            raise ValueError("wander amplitude must be non-negative")
+        if self.wander_period_days <= 0:
+            raise ValueError("wander period must be positive")
+
+
+@dataclass(frozen=True)
+class SnrTrace:
+    """One wavelength's SNR time series plus its provenance."""
+
+    link_id: str
+    cable_name: str
+    timebase: Timebase
+    snr_db: np.ndarray
+    baseline_db: float
+    events: tuple[Impairment, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.snr_db) != self.timebase.n_samples:
+            raise ValueError(
+                f"trace length {len(self.snr_db)} does not match "
+                f"timebase with {self.timebase.n_samples} samples"
+            )
+
+    def __len__(self) -> int:
+        return len(self.snr_db)
+
+    @property
+    def min_db(self) -> float:
+        return float(self.snr_db.min())
+
+    @property
+    def max_db(self) -> float:
+        return float(self.snr_db.max())
+
+
+def _ar1_noise(
+    n_samples: int, n_series: int, sigma: float, rho: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Stationary AR(1) noise, shape (n_series, n_samples).
+
+    Implemented as an IIR filter over white innovations with the initial
+    filter state drawn from the stationary distribution, so there is no
+    burn-in transient at the start of a trace.
+    """
+    if sigma == 0.0:
+        return np.zeros((n_series, n_samples))
+    from scipy.signal import lfilter
+
+    scale = np.sqrt(1.0 - rho * rho)
+    innovations = rng.standard_normal((n_series, n_samples))
+    y_prev = rng.standard_normal(n_series)  # stationary (unit-variance) start
+    zi = (rho * y_prev)[:, None]
+    out, _ = lfilter([scale], [1.0, -rho], innovations, axis=1, zi=zi)
+    return sigma * out
+
+
+def _apply_events(
+    snr: np.ndarray,
+    events: list[Impairment],
+    timebase: Timebase,
+    wavelength_index: int | None,
+) -> None:
+    """Subtract event penalties in place.
+
+    ``wavelength_index`` selects which row a WAVELENGTH-scope event hits;
+    pass None when ``snr`` is a single row already selected.
+    """
+    for event in events:
+        window = timebase.slice_between(event.start_s, event.end_s)
+        if window.start == window.stop:
+            continue
+        penalty = event.snr_penalty_db
+        if event.scope is ImpairmentScope.CABLE:
+            rows: slice | int = slice(None)
+        else:
+            rows = wavelength_index if wavelength_index is not None else 0
+        if np.isinf(penalty):
+            snr[rows, window] = MEASUREMENT_FLOOR_DB - 100.0  # clipped later
+        else:
+            snr[rows, window] -= penalty
+
+
+def synthesize_cable_traces(
+    cable_name: str,
+    baselines_db: np.ndarray,
+    timebase: Timebase,
+    cable_events: list[Impairment],
+    wavelength_events: dict[int, list[Impairment]],
+    noise: NoiseModel,
+    rng: np.random.Generator,
+) -> list[SnrTrace]:
+    """Generate SNR traces for every wavelength of one cable.
+
+    Args:
+        cable_name: identifier used in link ids (``{cable}:w{idx}``).
+        baselines_db: per-wavelength baseline SNR, shape (n_wavelengths,).
+        timebase: sampling grid.
+        cable_events: impairments hitting all wavelengths together.
+        wavelength_events: impairments per wavelength index.
+        noise: stationary fluctuation model.
+        rng: source of randomness for noise and wander phase.
+
+    Cable-level events land on all rows at the same samples — this is the
+    correlated-dip structure visible in the paper's Figure 1.
+    """
+    baselines = np.asarray(baselines_db, dtype=float)
+    if baselines.ndim != 1 or baselines.size == 0:
+        raise ValueError("baselines_db must be a non-empty 1-D array")
+    n_wave = baselines.size
+    n = timebase.n_samples
+
+    snr = np.tile(baselines[:, None], (1, n))
+    snr += _ar1_noise(n, n_wave, noise.sigma_db, noise.rho, rng)
+
+    if noise.wander_amplitude_db > 0:
+        t_days = timebase.times_s() / 86_400.0
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        wander = noise.wander_amplitude_db * np.sin(
+            2.0 * np.pi * t_days / noise.wander_period_days + phase
+        )
+        snr += wander[None, :]
+
+    _apply_events(snr, cable_events, timebase, wavelength_index=None)
+    for idx, events in wavelength_events.items():
+        if not 0 <= idx < n_wave:
+            raise ValueError(f"wavelength index {idx} out of range 0..{n_wave - 1}")
+        _apply_events(snr, events, timebase, wavelength_index=idx)
+
+    np.clip(snr, MEASUREMENT_FLOOR_DB, None, out=snr)
+
+    all_events_sorted = sorted(cable_events, key=lambda e: e.start_s)
+    traces = []
+    for idx in range(n_wave):
+        own = sorted(
+            all_events_sorted + wavelength_events.get(idx, []),
+            key=lambda e: e.start_s,
+        )
+        traces.append(
+            SnrTrace(
+                link_id=f"{cable_name}:w{idx:03d}",
+                cable_name=cable_name,
+                timebase=timebase,
+                snr_db=snr[idx],
+                baseline_db=float(baselines[idx]),
+                events=tuple(own),
+            )
+        )
+    return traces

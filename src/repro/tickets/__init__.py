@@ -1,0 +1,49 @@
+"""Failure-ticket substrate.
+
+Section 2.2 of the paper manually analyses seven months of unplanned
+failure tickets (250 events) filed by WAN field operators and buckets
+them by root cause.  This package synthesises an equivalent ticket corpus
+(:mod:`~repro.tickets.generator`) with the paper's taxonomy
+(:mod:`~repro.tickets.model`) and reproduces the share-of-duration and
+share-of-frequency analyses of Figures 4a/4b
+(:mod:`~repro.tickets.analysis`).
+"""
+
+from repro.tickets.model import Ticket
+from repro.tickets.generator import TicketConfig, TicketGenerator
+from repro.tickets.analysis import (
+    CauseShares,
+    duration_share_by_cause,
+    frequency_share_by_cause,
+    opportunity_area,
+    shares_by_cause,
+)
+from repro.tickets.correlate import (
+    TicketMatch,
+    match_ticket_to_episodes,
+    tickets_from_dataset,
+)
+from repro.tickets.mttr import (
+    ReliabilityStats,
+    mttr_improvement_with_dynamic_capacity,
+    reliability_by_cause,
+    reliability_stats,
+)
+
+__all__ = [
+    "TicketMatch",
+    "match_ticket_to_episodes",
+    "tickets_from_dataset",
+    "ReliabilityStats",
+    "mttr_improvement_with_dynamic_capacity",
+    "reliability_by_cause",
+    "reliability_stats",
+    "Ticket",
+    "TicketConfig",
+    "TicketGenerator",
+    "CauseShares",
+    "duration_share_by_cause",
+    "frequency_share_by_cause",
+    "opportunity_area",
+    "shares_by_cause",
+]

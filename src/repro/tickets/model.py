@@ -1,0 +1,59 @@
+"""The failure-ticket record and its root-cause taxonomy.
+
+The taxonomy is shared with the impairment events
+(:class:`repro.optics.impairments.RootCause`), so telemetry dips and
+operator tickets tell one consistent story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.optics.impairments import RootCause
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """One unplanned failure event as filed by a field operator.
+
+    Attributes:
+        ticket_id: unique identifier (``TKT-000123``).
+        root_cause: category per the Section 2.2 taxonomy.
+        opened_s: when the outage began, seconds from corpus start.
+        duration_s: outage duration.
+        element: the network element named in the ticket (cable/site id).
+        during_maintenance: True when the failure happened while a
+            scheduled maintenance was underway — the paper's "Human"
+            category is exactly these events.
+    """
+
+    ticket_id: str
+    root_cause: RootCause
+    opened_s: float
+    duration_s: float
+    element: str
+    during_maintenance: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("ticket duration must be positive")
+        if self.opened_s < 0:
+            raise ValueError("ticket open time must be non-negative")
+
+    @property
+    def closed_s(self) -> float:
+        return self.opened_s + self.duration_s
+
+    @property
+    def duration_hours(self) -> float:
+        return self.duration_s / 3600.0
+
+    @property
+    def is_binary_failure(self) -> bool:
+        """True when the failure gives no capacity-adaptation opportunity.
+
+        Fiber cuts physically sever the light path; every other category
+        may leave a degraded-but-usable signal — the paper's
+        "opportunity area" (over 90% of events).
+        """
+        return self.root_cause is RootCause.FIBER_CUT

@@ -1,0 +1,51 @@
+"""Tests for CDF helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import cdf_at, empirical_cdf, quantile
+
+
+class TestEmpiricalCdf:
+    def test_simple(self):
+        x, p = empirical_cdf([3.0, 1.0, 2.0, 2.0])
+        np.testing.assert_allclose(x, [1.0, 2.0, 2.0, 3.0])
+        np.testing.assert_allclose(p, [0.25, 0.5, 0.75, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=60))
+    def test_cdf_monotone_and_ends_at_one(self, values):
+        x, p = empirical_cdf(values)
+        assert (np.diff(x) >= 0).all()
+        assert (np.diff(p) > 0).all()
+        assert p[-1] == pytest.approx(1.0)
+
+
+class TestCdfAt:
+    def test_values(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(data, 0.5) == 0.0
+        assert cdf_at(data, 2.0) == 0.5
+        assert cdf_at(data, 10.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_at([], 1.0)
+
+
+class TestQuantile:
+    def test_median(self):
+        assert quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)

@@ -1,0 +1,100 @@
+"""Tests for per-figure CSV export."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import export_all
+from repro.telemetry.dataset import BackboneConfig, BackboneDataset
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    return BackboneDataset(
+        BackboneConfig(n_cables=3, years=0.5, seed=6)
+    ).summaries()
+
+
+@pytest.fixture(scope="module")
+def exported(summaries, tmp_path_factory):
+    outdir = tmp_path_factory.mktemp("figures")
+    paths = export_all(outdir, summaries, years=0.2, seed=6)
+    return outdir, paths
+
+
+def read_csv(path):
+    with path.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = list(reader)
+    return header, rows
+
+
+class TestExportAll:
+    def test_all_files_written(self, exported):
+        outdir, paths = exported
+        names = {p.name for p in paths}
+        assert names == {
+            "fig1_snr_timeseries.csv",
+            "fig2a_snr_variation.csv",
+            "fig2b_feasible_capacity.csv",
+            "fig3a_failures_vs_capacity.csv",
+            "fig3b_failure_durations.csv",
+            "fig4c_failure_snr.csv",
+            "fig6b_modulation_change.csv",
+        }
+        # fig4ab written alongside fig4c
+        assert (outdir / "fig4ab_root_causes.csv").exists()
+
+    def test_fig1_shape(self, exported):
+        outdir, _ = exported
+        header, rows = read_csv(outdir / "fig1_snr_timeseries.csv")
+        assert header[0] == "time_days"
+        assert len(header) == 41  # 40 wavelengths + time
+        assert len(rows) > 100
+
+    def test_fig2a_cdf_monotone(self, exported):
+        outdir, _ = exported
+        header, rows = read_csv(outdir / "fig2a_snr_variation.csv")
+        assert header == ["metric", "value_db", "cdf"]
+        hdr_rows = [r for r in rows if r[0] == "hdr_width_db"]
+        cdf = [float(r[2]) for r in hdr_rows]
+        assert cdf == sorted(cdf)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_fig6b_trial_counts(self, exported):
+        outdir, _ = exported
+        _, rows = read_csv(outdir / "fig6b_modulation_change.csv")
+        standard = [r for r in rows if r[0] == "standard"]
+        efficient = [r for r in rows if r[0] == "efficient"]
+        assert len(standard) == 200
+        assert len(efficient) == 200
+
+    def test_fig4ab_shares_sum_to_one(self, exported):
+        outdir, _ = exported
+        _, rows = read_csv(outdir / "fig4ab_root_causes.csv")
+        assert sum(float(r[1]) for r in rows) == pytest.approx(1.0)
+        assert sum(float(r[2]) for r in rows) == pytest.approx(1.0)
+
+    def test_empty_summaries_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_all(tmp_path, [])
+
+    def test_cli_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        outdir = tmp_path / "csvs"
+        assert (
+            main(
+                [
+                    "export",
+                    str(outdir),
+                    "--cables",
+                    "2",
+                    "--years",
+                    "0.1",
+                ]
+            )
+            == 0
+        )
+        assert (outdir / "fig2b_feasible_capacity.csv").exists()

@@ -1,0 +1,136 @@
+"""Tests for the per-figure data generators.
+
+These run on a scaled-down backbone (the benchmarks run full scale);
+what is asserted is the *shape* each paper figure reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figures
+from repro.optics.impairments import RootCause
+from repro.telemetry.dataset import BackboneConfig, BackboneDataset
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    # ~12 cables x 1 year keeps the suite fast while preserving shape
+    ds = BackboneDataset(BackboneConfig(n_cables=12, years=1.0, seed=2017))
+    return ds.summaries()
+
+
+class TestFig1:
+    def test_shape(self):
+        data = figures.fig1_snr_timeseries(years=0.1, n_wavelengths=8)
+        assert data.snr_db.shape[0] == 8
+        assert data.snr_db.shape[1] == len(data.times_days)
+        assert len(data.link_ids) == 8
+
+    def test_all_above_100g_threshold_mostly(self):
+        data = figures.fig1_snr_timeseries(years=0.1, n_wavelengths=8)
+        # the cable's wavelengths sit well above 6.5 dB almost always
+        assert np.mean(data.snr_db > 6.5) > 0.99
+
+    def test_band_matches_paper(self):
+        data = figures.fig1_snr_timeseries(years=0.25, n_wavelengths=40)
+        medians = np.median(data.snr_db, axis=1)
+        assert medians.min() > 9.5
+        assert medians.max() < 15.0
+
+    def test_thresholds_included(self):
+        data = figures.fig1_snr_timeseries(years=0.1, n_wavelengths=4)
+        assert data.thresholds_db[100.0] == 6.5
+        assert data.thresholds_db[200.0] == 14.5
+
+
+class TestFig2a:
+    def test_hdr_mostly_narrow(self, summaries):
+        data = figures.fig2a_snr_variation(summaries)
+        assert data.frac_hdr_below_2db > 0.75  # paper: 0.83
+
+    def test_range_much_wider_than_hdr(self, summaries):
+        data = figures.fig2a_snr_variation(summaries)
+        assert data.mean_range_db > 3 * np.mean(data.hdr_widths_db)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            figures.fig2a_snr_variation([])
+
+
+class TestFig2b:
+    def test_most_links_175_or_more(self, summaries):
+        data = figures.fig2b_feasible_capacity(summaries)
+        assert data.frac_at_least_175 > 0.65  # paper: 0.80
+
+    def test_total_gain_positive(self, summaries):
+        data = figures.fig2b_feasible_capacity(summaries)
+        assert data.total_gain_tbps > 0
+        # per-link mean gain in the paper's 75-100 Gbps band (loosely)
+        assert 50.0 < 1000.0 * data.total_gain_tbps / len(summaries) < 110.0
+
+
+class TestFig3a:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return figures.fig3a_failures_vs_capacity(years=1.0)
+
+    def test_flat_up_to_175(self, data):
+        assert data.mean_failures(175.0) <= data.mean_failures(100.0) + 5
+
+    def test_explodes_at_200(self, data):
+        assert data.max_failures(200.0) > 3 * data.max_failures(175.0)
+
+
+class TestFig3b:
+    def test_durations_are_hours(self, summaries):
+        data = figures.fig3b_failure_durations(summaries)
+        for capacity in data.capacities_gbps:
+            if data.durations_h[capacity].size:
+                assert 0.5 < data.mean_duration_h(capacity) < 24.0
+
+    def test_feasibility_filter(self, summaries):
+        # links that cannot run 200G contribute no 200G episodes
+        data = figures.fig3b_failure_durations(summaries)
+        n200 = data.durations_h[200.0].size
+        n100 = data.durations_h[100.0].size
+        assert n200 <= sum(
+            s.failures_at(200.0).n_episodes
+            for s in summaries
+            if s.feasible_capacity_gbps >= 200.0
+        )
+        assert n100 > 0
+
+
+class TestFig4:
+    def test_shares(self):
+        shares = figures.fig4ab_root_causes()
+        assert shares.n_tickets == 250
+        assert shares.frequency_percent(RootCause.FIBER_CUT) < 10.0
+        assert shares.frequency_percent(RootCause.MAINTENANCE) == pytest.approx(
+            25.0, abs=6.0
+        )
+
+    def test_fig4c_rescuable_fraction(self, summaries):
+        data = figures.fig4c_failure_snr(summaries)
+        assert 0.10 < data.frac_at_least_3db < 0.45  # paper: ~0.25
+        assert data.min_snrs_db.min() >= 0.0
+
+
+class TestFig5and6:
+    def test_constellations(self):
+        clouds = figures.fig5_constellations(n_symbols=300)
+        assert set(clouds) == {100.0, 150.0, 200.0}
+        assert all(len(c) == 300 for c in clouds.values())
+
+    def test_modulation_change(self):
+        report = figures.fig6b_modulation_change(n_changes=50)
+        assert report.standard_mean_s == pytest.approx(68.0, rel=0.15)
+        assert report.efficient_mean_s == pytest.approx(0.035, rel=0.25)
+
+
+class TestFig7:
+    def test_one_upgrade(self):
+        data = figures.fig7_example()
+        assert data.allocated_gbps == pytest.approx(250.0, abs=0.1)
+        assert data.n_upgrades == 1
+        assert len(data.upgraded_links) == 1

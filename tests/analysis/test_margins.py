@@ -1,0 +1,86 @@
+"""Tests for margin accounting and the provisioning frontier."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.margins import (
+    margin_report,
+    static_provisioning_frontier,
+)
+from repro.telemetry.dataset import BackboneConfig, BackboneDataset
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    ds = BackboneDataset(BackboneConfig(n_cables=10, years=1.0, seed=2017))
+    return ds.summaries()
+
+
+class TestMarginReport:
+    def test_margins_positive_on_healthy_backbone(self, summaries):
+        report = margin_report(summaries)
+        # operators provision margin: the typical link sits well above 6.5
+        assert report.mean_margin_db > 4.0
+        assert report.frac_links_over_margined > 0.4
+
+    def test_stranded_capacity_matches_fig2b(self, summaries):
+        report = margin_report(summaries)
+        total_gain = sum(s.capacity_gain_gbps for s in summaries)
+        assert report.total_stranded_tbps == pytest.approx(
+            total_gain / 1000.0
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            margin_report([])
+
+
+class TestFrontier:
+    @pytest.fixture(scope="class")
+    def frontier(self, summaries):
+        return static_provisioning_frontier(summaries, years=1.0)
+
+    def test_point_labels(self, frontier):
+        labels = [p.label for p in frontier]
+        assert labels[0] == "static@100G"
+        assert labels[-1] == "dynamic"
+
+    def test_static_capacity_monotone(self, frontier):
+        static = [p for p in frontier if p.label.startswith("static")]
+        caps = [p.total_capacity_gbps for p in static]
+        assert caps == sorted(caps)
+
+    def test_static_failures_monotone(self, frontier):
+        static = [p for p in frontier if p.label.startswith("static")]
+        failures = [p.failures_per_link_year for p in static]
+        assert failures == sorted(failures)
+
+    def test_dynamic_dominates(self, frontier):
+        """The paper's conclusion as geometry: the dynamic point has the
+        top rung's capacity at (or below) the bottom rung's failure rate."""
+        dynamic = frontier[-1]
+        static = [p for p in frontier if p.label.startswith("static")]
+        best_static_capacity = max(p.total_capacity_gbps for p in static)
+        worst_static_failures = static[-1].failures_per_link_year
+        assert dynamic.total_capacity_gbps == pytest.approx(
+            best_static_capacity, rel=1e-9
+        )
+        assert dynamic.failures_per_link_year < worst_static_failures
+
+    def test_dynamic_failures_are_floor_failures(self, frontier, summaries):
+        dynamic = frontier[-1]
+        floor_failures = sum(s.failures_at(50.0).n_episodes for s in summaries)
+        assert dynamic.failures_per_link_year == pytest.approx(
+            floor_failures / len(summaries)
+        )
+
+    def test_baseline_ratio_is_one_at_100g(self, frontier, summaries):
+        at_100 = frontier[0]
+        # every link's assigned capacity at the 100G cap is exactly 100
+        assert at_100.capacity_gain_ratio == pytest.approx(1.0)
+
+    def test_validation(self, summaries):
+        with pytest.raises(ValueError):
+            static_provisioning_frontier([], years=1.0)
+        with pytest.raises(ValueError):
+            static_provisioning_frontier(summaries, years=0.0)

@@ -1,0 +1,70 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.analysis.paper_report import ReportScale, build_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return build_report(ReportScale(n_cables=4, years=0.5, seed=9))
+
+
+class TestBuildReport:
+    def test_all_sections_present(self, report_text):
+        for marker in (
+            "Figure 2a",
+            "Figure 2b",
+            "Figure 3a",
+            "Figure 3b",
+            "Figures 4a/4b",
+            "Figure 4c",
+            "Figure 6b",
+            "Figure 7",
+        ):
+            assert marker in report_text
+
+    def test_paper_references_inline(self, report_text):
+        assert "paper: 83%" in report_text
+        assert "paper: 68 s" in report_text
+        assert "one upgrade suffices" in report_text
+
+    def test_scale_recorded(self, report_text):
+        assert "x 0.5 years" in report_text
+        assert "seed 9" in report_text
+
+    def test_deterministic(self):
+        scale = ReportScale(n_cables=3, years=0.25, seed=4)
+        assert build_report(scale) == build_report(scale)
+
+    def test_scale_presets(self):
+        assert ReportScale.paper().n_cables == 55
+        assert ReportScale.quick().years == 1.0
+
+
+class TestCliIntegration:
+    def test_report_to_stdout(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--cables", "3", "--years", "0.25"]) == 0
+        assert "reproduction report" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "report.txt"
+        assert (
+            main(
+                [
+                    "report",
+                    "--cables",
+                    "3",
+                    "--years",
+                    "0.25",
+                    "--output",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        assert "Figure 7" in target.read_text()

@@ -1,0 +1,51 @@
+"""Tests for plain-text rendering."""
+
+from repro.analysis.report import (
+    render_cdf,
+    render_distribution,
+    render_series,
+    render_shares,
+)
+from repro.optics.impairments import RootCause
+
+
+class TestRenderCdf:
+    def test_contains_points(self):
+        out = render_cdf("snr", [1.0, 2.0, 3.0], points=[2.0], unit=" dB")
+        assert "CDF of snr" in out
+        assert "0.667" in out
+
+    def test_default_points(self):
+        out = render_cdf("x", list(range(100)))
+        assert out.count("P(x <=") == 5
+
+
+class TestRenderDistribution:
+    def test_summary(self):
+        out = render_distribution("dur", [1.0, 2.0, 3.0], unit="h")
+        assert "median=2.00h" in out
+        assert "n=3" in out
+
+    def test_empty(self):
+        assert "(empty)" in render_distribution("dur", [])
+
+
+class TestRenderShares:
+    def test_uses_labels_and_bars(self):
+        out = render_shares(
+            "causes", {RootCause.FIBER_CUT: 0.10, RootCause.HARDWARE: 0.50}
+        )
+        assert "Fiber cut" in out
+        assert "10.0%" in out
+        assert "#" in out
+
+
+class TestRenderSeries:
+    def test_table(self):
+        out = render_series(
+            "sweep",
+            [(1.0, 100.0), (2.0, 180.5)],
+            header=["scale", "gbps"],
+        )
+        assert "scale" in out
+        assert "180.50" in out

@@ -1,0 +1,34 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.bvt.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_s == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(100.0).now_s == 100.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now_s == pytest.approx(4.0)
+
+    def test_advance_returns_now(self):
+        assert SimClock().advance(3.0) == 3.0
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now_s == 0.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_repr(self):
+        assert "1.500" in repr(SimClock(1.5))

@@ -1,0 +1,122 @@
+"""Tests for fleet execution of reconfiguration schedules."""
+
+import pytest
+
+from repro.bvt.fleet import BvtFleet
+from repro.bvt.transceiver import ChangeProcedure
+from repro.core.scheduler import schedule_reconfigurations
+from repro.core.translation import LinkUpgrade
+from repro.net.srlg import SrlgMap
+
+
+def upgrade(link_id, to=200.0, disrupted=0.0):
+    return LinkUpgrade(
+        link_id=link_id,
+        old_capacity_gbps=100.0,
+        new_capacity_gbps=to,
+        headroom_used_gbps=to - 100.0,
+        disrupted_traffic_gbps=disrupted,
+    )
+
+
+def fleet_for(link_ids, seed=0):
+    return BvtFleet({i: 100.0 for i in link_ids}, seed=seed)
+
+
+def independent_srlgs(link_ids):
+    srlgs = SrlgMap()
+    for i, link_id in enumerate(link_ids):
+        srlgs.add(f"cable{i}", [link_id])
+    return srlgs
+
+
+class TestFleet:
+    def test_construction(self):
+        fleet = fleet_for(["a", "b"])
+        assert len(fleet) == 2
+        assert fleet.capacity_of("a") == 100.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BvtFleet({})
+
+    def test_unknown_link(self):
+        with pytest.raises(KeyError):
+            fleet_for(["a"]).capacity_of("zz")
+
+
+class TestExecution:
+    def test_capacities_applied(self):
+        links = ["a", "b", "c"]
+        schedule = schedule_reconfigurations(
+            [upgrade(i) for i in links], independent_srlgs(links)
+        )
+        fleet = fleet_for(links)
+        timeline = fleet.execute_schedule(schedule)
+        assert timeline.n_changes == 3
+        for link_id in links:
+            assert fleet.capacity_of(link_id) == 200.0
+
+    def test_parallel_batch_costs_one_window(self):
+        """Three independent standard changes in one batch: wall clock is
+        the slowest single change, not the sum."""
+        links = ["a", "b", "c"]
+        schedule = schedule_reconfigurations(
+            [upgrade(i) for i in links], independent_srlgs(links)
+        )
+        assert schedule.n_batches == 1
+        timeline = fleet_for(links).execute_schedule(
+            schedule, procedure=ChangeProcedure.STANDARD
+        )
+        batch = timeline.batches[0]
+        slowest = max(c.downtime_s for c in batch.changes)
+        assert batch.wallclock_s == pytest.approx(slowest)
+        assert timeline.total_wallclock_s < sum(
+            c.downtime_s for c in batch.changes
+        )
+
+    def test_conflicting_changes_serialise(self):
+        srlgs = SrlgMap()
+        srlgs.add("shared", ["a", "b"])
+        schedule = schedule_reconfigurations(
+            [upgrade("a"), upgrade("b")], srlgs
+        )
+        assert schedule.n_batches == 2
+        timeline = fleet_for(["a", "b"]).execute_schedule(schedule)
+        first, second = timeline.batches
+        assert second.started_at_s == pytest.approx(first.ended_at_s)
+
+    def test_efficient_procedure_fast(self):
+        links = ["a", "b"]
+        schedule = schedule_reconfigurations(
+            [upgrade(i) for i in links], independent_srlgs(links)
+        )
+        timeline = fleet_for(links).execute_schedule(
+            schedule, procedure=ChangeProcedure.EFFICIENT
+        )
+        assert timeline.total_wallclock_s < 0.2
+
+    def test_downtime_lookup(self):
+        links = ["a"]
+        schedule = schedule_reconfigurations(
+            [upgrade("a")], independent_srlgs(links)
+        )
+        timeline = fleet_for(links).execute_schedule(schedule)
+        assert timeline.downtime_of("a") > 0
+        with pytest.raises(KeyError):
+            timeline.downtime_of("zz")
+
+    def test_empty_schedule(self):
+        schedule = schedule_reconfigurations([], SrlgMap())
+        timeline = fleet_for(["a"]).execute_schedule(schedule)
+        assert timeline.n_changes == 0
+        assert timeline.total_wallclock_s == 0.0
+
+    def test_deterministic(self):
+        links = ["a", "b"]
+        schedule = schedule_reconfigurations(
+            [upgrade(i) for i in links], independent_srlgs(links)
+        )
+        t1 = fleet_for(links, seed=3).execute_schedule(schedule)
+        t2 = fleet_for(links, seed=3).execute_schedule(schedule)
+        assert t1 == t2

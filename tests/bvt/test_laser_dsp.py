@@ -1,0 +1,92 @@
+"""Tests for the laser and DSP timing models."""
+
+import numpy as np
+import pytest
+
+from repro.bvt.dsp import DspModel, DspTimings
+from repro.bvt.laser import LaserModel, LaserState, LaserTimings
+from repro.optics.modulation import DEFAULT_MODULATIONS
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLaser:
+    def test_starts_on(self):
+        assert LaserModel().is_on
+
+    def test_turn_off_changes_state(self, rng):
+        laser = LaserModel()
+        dt = laser.turn_off(rng)
+        assert laser.state is LaserState.OFF
+        assert dt > 0.0
+
+    def test_turn_off_idempotent(self, rng):
+        laser = LaserModel()
+        laser.turn_off(rng)
+        assert laser.turn_off(rng) == 0.0
+
+    def test_turn_on_idempotent(self, rng):
+        assert LaserModel().turn_on(rng) == 0.0
+
+    def test_turn_on_dominates_latency(self, rng):
+        # the paper's finding: re-lock after laser-on is the slow step
+        laser = LaserModel()
+        offs, ons = [], []
+        for _ in range(200):
+            offs.append(laser.turn_off(rng))
+            ons.append(laser.turn_on(rng))
+        assert np.mean(ons) > 10 * np.mean(offs)
+        assert np.mean(ons) == pytest.approx(59.0, rel=0.1)
+
+    def test_timings_validation(self):
+        with pytest.raises(ValueError):
+            LaserTimings(turn_on_median_s=0.0)
+        with pytest.raises(ValueError):
+            LaserTimings(turn_off_sigma=-1.0)
+
+    def test_custom_timings(self, rng):
+        laser = LaserModel(LaserTimings(turn_on_median_s=1.0, turn_on_sigma=0.0))
+        laser.turn_off(rng)
+        assert laser.turn_on(rng) == pytest.approx(1.0)
+
+
+class TestDsp:
+    def test_initial_format(self):
+        dsp = DspModel()
+        assert dsp.capacity_gbps == 100.0
+        assert dsp.format.name == "QPSK"
+
+    def test_reprogram_switches_format(self, rng):
+        dsp = DspModel()
+        target = DEFAULT_MODULATIONS.format_for_capacity(200.0)
+        dt = dsp.reprogram(target, rng)
+        assert dsp.capacity_gbps == 200.0
+        assert dt > 1.0
+
+    def test_inservice_swap_is_milliseconds(self, rng):
+        dsp = DspModel()
+        target = DEFAULT_MODULATIONS.format_for_capacity(150.0)
+        draws = [DspModel().inservice_swap(target, rng) for _ in range(300)]
+        assert np.mean(draws) == pytest.approx(0.035, rel=0.15)
+
+    def test_reprogram_slower_than_swap(self, rng):
+        dsp = DspModel()
+        target = DEFAULT_MODULATIONS.format_for_capacity(150.0)
+        assert dsp.reprogram(target, rng) > dsp.inservice_swap(target, rng)
+
+    def test_unsupported_format_rejected(self, rng):
+        from repro.optics.modulation import ModulationFormat
+
+        dsp = DspModel()
+        alien = ModulationFormat(400.0, 20.0, name="64QAM")
+        with pytest.raises(ValueError, match="not supported"):
+            dsp.reprogram(alien, rng)
+
+    def test_timings_validation(self):
+        with pytest.raises(ValueError):
+            DspTimings(reprogram_median_s=0.0)
+        with pytest.raises(ValueError):
+            DspTimings(inservice_sigma=-0.1)

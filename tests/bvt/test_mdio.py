@@ -1,0 +1,87 @@
+"""Tests for the MDIO register interface."""
+
+import numpy as np
+import pytest
+
+from repro.bvt.mdio import (
+    CONTROL_APPLY,
+    CONTROL_EFFICIENT,
+    DEVICE_ID_VALUE,
+    MdioInterface,
+    Register,
+    STATUS_LASER_ON,
+    STATUS_LINK_UP,
+)
+from repro.bvt.transceiver import Bvt
+
+
+@pytest.fixture
+def mdio():
+    return MdioInterface(Bvt(), np.random.default_rng(5))
+
+
+class TestReads:
+    def test_device_id(self, mdio):
+        assert mdio.read(Register.DEVICE_ID) == DEVICE_ID_VALUE
+
+    def test_status_active_link(self, mdio):
+        status = mdio.read(Register.STATUS)
+        assert status & STATUS_LINK_UP
+        assert status & STATUS_LASER_ON
+
+    def test_current_mod_code(self, mdio):
+        # 100 Gbps is rung index 1 on the default ladder (50 is 0)
+        assert mdio.read(Register.CURRENT_MOD) == 1
+
+    def test_unmapped_register_rejected(self, mdio):
+        with pytest.raises(ValueError):
+            mdio.read(0x77)
+
+
+class TestWrites:
+    def test_target_then_apply_changes_modulation(self, mdio):
+        mdio.write(Register.TARGET_MOD, 5)  # 200 Gbps
+        mdio.write(Register.CONTROL, CONTROL_APPLY)
+        assert mdio.bvt.capacity_gbps == 200.0
+        assert mdio.read(Register.CURRENT_MOD) == 5
+
+    def test_apply_without_new_target_is_noop(self, mdio):
+        mdio.write(Register.CONTROL, CONTROL_APPLY)
+        assert mdio.bvt.capacity_gbps == 100.0
+        assert mdio.read(Register.LAST_CHANGE_MS) == 0
+
+    def test_efficient_bit_selects_fast_path(self, mdio):
+        mdio.write(Register.TARGET_MOD, 3)
+        mdio.write(Register.CONTROL, CONTROL_APPLY | CONTROL_EFFICIENT)
+        # efficient changes take tens of ms, standard tens of seconds
+        assert 0 < mdio.read(Register.LAST_CHANGE_MS) < 1000
+
+    def test_standard_latency_reported_in_ms(self, mdio):
+        mdio.write(Register.TARGET_MOD, 3)
+        mdio.write(Register.CONTROL, CONTROL_APPLY)
+        assert mdio.read(Register.LAST_CHANGE_MS) > 10_000  # > 10 s
+
+    def test_invalid_target_code_nacked(self, mdio):
+        with pytest.raises(ValueError, match="modulation code"):
+            mdio.write(Register.TARGET_MOD, 99)
+
+    def test_read_only_registers(self, mdio):
+        for reg in (Register.DEVICE_ID, Register.STATUS, Register.CURRENT_MOD,
+                    Register.LAST_CHANGE_MS):
+            with pytest.raises(PermissionError):
+                mdio.write(reg, 0)
+
+    def test_oversized_value_rejected(self, mdio):
+        with pytest.raises(ValueError, match="16 bits"):
+            mdio.write(Register.TARGET_MOD, 1 << 16)
+
+
+class TestConvenience:
+    def test_set_modulation_returns_downtime_ms(self, mdio):
+        ms = mdio.set_modulation(150.0, efficient=True)
+        assert mdio.bvt.capacity_gbps == 150.0
+        assert 1 <= ms <= 1000
+
+    def test_set_modulation_standard(self, mdio):
+        ms = mdio.set_modulation(125.0)
+        assert ms > 10_000

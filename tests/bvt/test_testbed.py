@@ -1,0 +1,81 @@
+"""Tests for the Figures 5/6 testbed harness."""
+
+import numpy as np
+import pytest
+
+from repro.bvt.testbed import Testbed
+from repro.bvt.transceiver import ChangeProcedure
+
+
+@pytest.fixture(scope="module")
+def report():
+    return Testbed(seed=68).run_figure6_experiment(200)
+
+
+class TestFigure6Experiment:
+    def test_trial_count(self, report):
+        assert report.n_trials == 200
+        assert len(report.efficient_downtimes_s) == 200
+
+    def test_standard_mean_near_68s(self, report):
+        assert report.standard_mean_s == pytest.approx(68.0, rel=0.08)
+
+    def test_efficient_mean_near_35ms(self, report):
+        assert report.efficient_mean_s == pytest.approx(0.035, rel=0.12)
+
+    def test_speedup_three_orders_of_magnitude(self, report):
+        assert report.speedup > 1000
+
+    def test_all_downtimes_positive(self, report):
+        assert (report.standard_downtimes_s > 0).all()
+        assert (report.efficient_downtimes_s > 0).all()
+
+    def test_distributions_disjoint(self, report):
+        # the paper's two CDFs never overlap: the slowest efficient change
+        # is far faster than the fastest standard change
+        assert report.efficient_downtimes_s.max() < report.standard_downtimes_s.min()
+
+
+class TestHarness:
+    def test_every_trial_is_a_real_change(self):
+        tb = Testbed(seed=1)
+        downtimes = tb.run_modulation_changes(
+            50, procedure=ChangeProcedure.EFFICIENT
+        )
+        # no-op changes would report zero downtime
+        assert (downtimes > 0).all()
+
+    def test_rejects_zero_changes(self):
+        with pytest.raises(ValueError):
+            Testbed().run_modulation_changes(0, procedure=ChangeProcedure.STANDARD)
+
+    def test_deterministic_given_seed(self):
+        a = Testbed(seed=3).run_figure6_experiment(20)
+        b = Testbed(seed=3).run_figure6_experiment(20)
+        np.testing.assert_array_equal(
+            a.standard_downtimes_s, b.standard_downtimes_s
+        )
+
+
+class TestConstellationCapture:
+    def test_figure5_capacities(self):
+        tb = Testbed(seed=5)
+        for capacity in Testbed.FIGURE5_CAPACITIES_GBPS:
+            sample = tb.capture_constellation(capacity, n_symbols=500)
+            assert len(sample) == 500
+            # the short testbed fiber has huge margin: clean clouds
+            assert sample.symbol_error_rate < 0.01
+
+    def test_testbed_snr_is_high(self):
+        assert Testbed().snr_db > 25.0
+
+    def test_capture_sets_modulation(self):
+        tb = Testbed(seed=5)
+        tb.capture_constellation(200.0, n_symbols=100)
+        assert tb.bvt.capacity_gbps == 200.0
+
+    def test_capture_rejects_infeasible_rate(self):
+        # a very long line system cannot close 200 Gbps
+        tb = Testbed(n_spans=60, span_length_km=80.0)
+        with pytest.raises(ValueError, match="cannot close"):
+            tb.capture_constellation(200.0)

@@ -1,0 +1,109 @@
+"""Tests for the BVT state machine."""
+
+import numpy as np
+import pytest
+
+from repro.bvt.clock import SimClock
+from repro.bvt.transceiver import Bvt, BvtState, ChangeProcedure
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+class TestInitialState:
+    def test_active_at_100g(self):
+        bvt = Bvt()
+        assert bvt.state is BvtState.ACTIVE
+        assert bvt.capacity_gbps == 100.0
+        assert bvt.is_carrying_traffic
+
+
+class TestStandardChange:
+    def test_changes_capacity(self, rng):
+        bvt = Bvt()
+        result = bvt.change_modulation(200.0, rng)
+        assert bvt.capacity_gbps == 200.0
+        assert result.from_capacity_gbps == 100.0
+        assert result.to_capacity_gbps == 200.0
+
+    def test_three_steps_all_downtime(self, rng):
+        result = Bvt().change_modulation(150.0, rng)
+        assert [s.name for s in result.steps] == [
+            "laser_off",
+            "dsp_reprogram",
+            "laser_turnup",
+        ]
+        assert all(s.caused_downtime for s in result.steps)
+        assert result.downtime_s == pytest.approx(result.total_duration_s)
+
+    def test_downtime_is_tens_of_seconds(self):
+        rng = np.random.default_rng(7)
+        downtimes = [
+            Bvt().change_modulation(150.0, rng).downtime_s for _ in range(100)
+        ]
+        assert np.mean(downtimes) == pytest.approx(68.0, rel=0.12)
+
+    def test_clock_advances(self, rng):
+        clock = SimClock()
+        bvt = Bvt(clock=clock)
+        result = bvt.change_modulation(125.0, rng)
+        assert clock.now_s == pytest.approx(result.total_duration_s)
+
+    def test_returns_to_active(self, rng):
+        bvt = Bvt()
+        bvt.change_modulation(175.0, rng)
+        assert bvt.state is BvtState.ACTIVE
+        assert bvt.laser.is_on
+
+
+class TestEfficientChange:
+    def test_single_step(self, rng):
+        result = Bvt().change_modulation(
+            150.0, rng, procedure=ChangeProcedure.EFFICIENT
+        )
+        assert [s.name for s in result.steps] == ["inservice_swap"]
+
+    def test_downtime_is_milliseconds(self):
+        rng = np.random.default_rng(7)
+        downtimes = [
+            Bvt()
+            .change_modulation(150.0, rng, procedure=ChangeProcedure.EFFICIENT)
+            .downtime_s
+            for _ in range(300)
+        ]
+        assert np.mean(downtimes) == pytest.approx(0.035, rel=0.15)
+
+    def test_laser_never_turns_off(self, rng):
+        bvt = Bvt()
+        bvt.change_modulation(200.0, rng, procedure=ChangeProcedure.EFFICIENT)
+        assert bvt.laser.is_on
+        assert bvt.capacity_gbps == 200.0
+
+
+class TestNoOpAndLog:
+    def test_same_capacity_is_noop(self, rng):
+        bvt = Bvt()
+        result = bvt.change_modulation(100.0, rng)
+        assert result.steps == ()
+        assert result.downtime_s == 0.0
+
+    def test_unknown_capacity_rejected(self, rng):
+        with pytest.raises(KeyError):
+            Bvt().change_modulation(137.0, rng)
+
+    def test_change_log_accumulates(self, rng):
+        bvt = Bvt()
+        bvt.change_modulation(150.0, rng)
+        bvt.change_modulation(200.0, rng, procedure=ChangeProcedure.EFFICIENT)
+        assert len(bvt.change_log) == 2
+        assert bvt.total_downtime_s() == pytest.approx(
+            sum(r.downtime_s for r in bvt.change_log)
+        )
+
+    def test_downgrade_also_works(self, rng):
+        bvt = Bvt(initial_capacity_gbps=200.0)
+        result = bvt.change_modulation(50.0, rng)
+        assert bvt.capacity_gbps == 50.0
+        assert result.downtime_s > 0

@@ -1,0 +1,142 @@
+"""Tests for Algorithm 1 (topology augmentation)."""
+
+import pytest
+
+from repro.core.augmentation import augment_topology, drop_infeasible_fake_links
+from repro.core.penalties import ConstantPenalty, TrafficDisruptionPenalty
+from repro.net.topology import Topology
+from repro.optics.modulation import DEFAULT_MODULATIONS
+
+
+@pytest.fixture
+def topo():
+    t = Topology("t")
+    t.add_link("A", "B", 100.0, headroom_gbps=100.0, link_id="ab")
+    t.add_link("B", "C", 100.0, headroom_gbps=0.0, link_id="bc")
+    t.add_link("A", "C", 100.0, headroom_gbps=50.0, link_id="ac")
+    return t
+
+
+class TestBasicAugmentation:
+    def test_fake_links_only_for_headroom(self, topo):
+        aug = augment_topology(topo)
+        assert aug.n_fake_links == 2
+        assert aug.fakes_of("ab") == ["ab+fake"]
+        assert aug.fakes_of("bc") == []
+
+    def test_fake_capacity_is_headroom(self, topo):
+        aug = augment_topology(topo)
+        assert aug.topology.link("ab+fake").capacity_gbps == 100.0
+        assert aug.topology.link("ac+fake").capacity_gbps == 50.0
+
+    def test_real_links_untouched(self, topo):
+        aug = augment_topology(topo)
+        for link_id in ("ab", "bc", "ac"):
+            original = topo.link(link_id)
+            copied = aug.topology.link(link_id)
+            assert copied.capacity_gbps == original.capacity_gbps
+            assert copied.penalty == original.penalty
+
+    def test_input_not_modified(self, topo):
+        n_before = topo.n_links
+        augment_topology(topo)
+        assert topo.n_links == n_before
+
+    def test_fake_links_marked(self, topo):
+        aug = augment_topology(topo)
+        fake = aug.topology.link("ab+fake")
+        assert fake.is_fake
+        assert fake.shadow_of == "ab"
+
+    def test_penalty_policy_applied(self, topo):
+        aug = augment_topology(topo, penalty_policy=ConstantPenalty(100.0))
+        assert aug.topology.link("ab+fake").penalty == 100.0
+
+    def test_traffic_fed_to_policy(self, topo):
+        aug = augment_topology(
+            topo,
+            penalty_policy=TrafficDisruptionPenalty(),
+            current_traffic={"ab": 60.0},
+        )
+        assert aug.topology.link("ab+fake").penalty == 60.0
+        assert aug.topology.link("ac+fake").penalty == 0.0
+
+    def test_negative_policy_rejected(self, topo):
+        with pytest.raises(ValueError, match="penalty policy"):
+            augment_topology(topo, penalty_policy=lambda link, t: -5.0)
+
+    def test_uniform_weights(self, topo):
+        topo.replace_link("ab", weight=7.0)
+        aug = augment_topology(topo, uniform_weights=True)
+        assert all(l.weight == 1.0 for l in aug.topology.links)
+
+
+class TestPerStepAugmentation:
+    def test_one_fake_per_rung(self, topo):
+        aug = augment_topology(topo, per_step=True, table=DEFAULT_MODULATIONS)
+        # ab: 100 -> 200 feasible: rungs 125, 150, 175, 200
+        assert len(aug.fakes_of("ab")) == 4
+        # ac: 100 -> 150: rungs 125, 150
+        assert len(aug.fakes_of("ac")) == 2
+
+    def test_step_capacities_sum_to_headroom(self, topo):
+        aug = augment_topology(topo, per_step=True, table=DEFAULT_MODULATIONS)
+        total = sum(
+            aug.topology.link(f).capacity_gbps for f in aug.fakes_of("ab")
+        )
+        assert total == pytest.approx(100.0)
+
+    def test_penalty_charged_once(self, topo):
+        aug = augment_topology(
+            topo,
+            per_step=True,
+            table=DEFAULT_MODULATIONS,
+            penalty_policy=ConstantPenalty(100.0),
+        )
+        penalties = sorted(
+            aug.topology.link(f).penalty for f in aug.fakes_of("ab")
+        )
+        assert penalties == [0.0, 0.0, 0.0, 100.0]
+
+    def test_per_step_needs_table(self, topo):
+        with pytest.raises(ValueError, match="table"):
+            augment_topology(topo, per_step=True)
+
+
+class TestDropInfeasible:
+    def test_snr_drop_removes_fake(self, topo):
+        aug = augment_topology(topo)
+        shrunk = drop_infeasible_fake_links(aug, {"ab": 100.0})
+        assert "ab+fake" not in shrunk.topology
+        assert "ac+fake" in shrunk.topology  # untouched
+
+    def test_partial_feasibility_keeps_real_shrinks_nothing(self, topo):
+        aug = augment_topology(topo)
+        shrunk = drop_infeasible_fake_links(aug, {"ab": 200.0})
+        assert "ab+fake" in shrunk.topology
+
+    def test_deep_drop_shrinks_real_link(self, topo):
+        aug = augment_topology(topo)
+        shrunk = drop_infeasible_fake_links(aug, {"ab": 50.0})
+        assert shrunk.topology.link("ab").capacity_gbps == 50.0
+        assert "ab+fake" not in shrunk.topology
+
+    def test_total_loss_removes_real_link(self, topo):
+        aug = augment_topology(topo)
+        shrunk = drop_infeasible_fake_links(aug, {"ab": 0.0})
+        assert "ab" not in shrunk.topology
+        assert "ab+fake" not in shrunk.topology
+
+    def test_original_augmentation_untouched(self, topo):
+        aug = augment_topology(topo)
+        drop_infeasible_fake_links(aug, {"ab": 0.0})
+        assert "ab+fake" in aug.topology
+        assert "ab" in aug.topology
+
+    def test_per_step_partial_drop(self, topo):
+        aug = augment_topology(topo, per_step=True, table=DEFAULT_MODULATIONS)
+        # SNR now supports only 150: rungs 175/200 must go, 125/150 stay
+        shrunk = drop_infeasible_fake_links(aug, {"ab": 150.0})
+        remaining = [f for f in shrunk.fake_to_real if shrunk.fake_to_real[f] == "ab"]
+        total = sum(shrunk.topology.link(f).capacity_gbps for f in remaining)
+        assert total == pytest.approx(50.0)

@@ -1,0 +1,105 @@
+"""End-to-end property tests of the abstraction pipeline.
+
+For random topologies, headroom patterns, penalties and demands, the
+full pipeline — augment -> unmodified TE -> translate — must produce
+physically valid flows on ladder-aligned capacities, and must never do
+worse than the static network.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.augmentation import augment_topology
+from repro.core.penalties import ConstantPenalty
+from repro.core.translation import translate
+from repro.net.demands import gravity_demands
+from repro.net.topologies import random_wan
+from repro.optics.modulation import DEFAULT_MODULATIONS
+from repro.te.lp import MultiCommodityLp
+
+LADDER_STEPS = [25.0, 50.0, 75.0, 100.0]
+
+
+def build_instance(seed):
+    rng = np.random.default_rng(seed)
+    topo = random_wan(int(rng.integers(4, 8)), rng)
+    for link in list(topo.links):
+        if rng.random() < 0.6:
+            topo.replace_link(
+                link.link_id,
+                headroom_gbps=float(rng.choice(LADDER_STEPS)),
+            )
+    demands = gravity_demands(
+        topo, float(rng.uniform(300.0, 3000.0)), rng, sparsity=0.5
+    )
+    return topo, demands, rng
+
+
+class TestPipelineProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2000),
+        penalty=st.floats(min_value=0.0, max_value=200.0),
+    )
+    def test_translated_solution_always_valid(self, seed, penalty):
+        topo, demands, _ = build_instance(seed)
+        aug = augment_topology(topo, penalty_policy=ConstantPenalty(penalty))
+        outcome = MultiCommodityLp(
+            aug.topology, demands
+        ).min_penalty_at_max_throughput()
+        result = translate(aug, outcome.solution, table=DEFAULT_MODULATIONS)
+        assert result.solution.is_valid(tolerance=1e-3), result.solution.violations()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    def test_upgrades_land_on_ladder_within_feasibility(self, seed):
+        topo, demands, _ = build_instance(seed)
+        aug = augment_topology(topo, penalty_policy=ConstantPenalty(1.0))
+        outcome = MultiCommodityLp(aug.topology, demands).max_throughput()
+        result = translate(aug, outcome.solution, table=DEFAULT_MODULATIONS)
+        for upgrade in result.upgrades:
+            original = topo.link(upgrade.link_id)
+            assert upgrade.new_capacity_gbps in DEFAULT_MODULATIONS.capacities_gbps
+            assert (
+                upgrade.new_capacity_gbps
+                <= original.capacity_gbps + original.headroom_gbps + 1e-6
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    def test_dynamic_never_below_static(self, seed):
+        topo, demands, _ = build_instance(seed)
+        static = MultiCommodityLp(topo, demands).max_throughput().objective_value
+        aug = augment_topology(topo)
+        dynamic = (
+            MultiCommodityLp(aug.topology, demands)
+            .max_throughput()
+            .objective_value
+        )
+        assert dynamic >= static - 1e-4
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    def test_augmentation_bounded_by_headroom(self, seed):
+        """Extra throughput can never exceed the total headroom added."""
+        topo, demands, _ = build_instance(seed)
+        total_headroom = sum(l.headroom_gbps for l in topo.links)
+        static = MultiCommodityLp(topo, demands).max_throughput().objective_value
+        aug = augment_topology(topo)
+        dynamic = (
+            MultiCommodityLp(aug.topology, demands)
+            .max_throughput()
+            .objective_value
+        )
+        assert dynamic - static <= total_headroom + 1e-4
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    def test_zero_headroom_augmentation_is_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        topo = random_wan(5, rng)  # no headroom anywhere
+        aug = augment_topology(topo)
+        assert aug.n_fake_links == 0
+        assert aug.topology.n_links == topo.n_links

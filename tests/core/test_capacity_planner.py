@@ -1,0 +1,84 @@
+"""Tests for the exhaustion forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.core.capacity_planner import deferral_quarters, forecast_exhaustion
+from repro.net.demands import Demand, gravity_demands
+from repro.net.topologies import abilene, line_topology
+
+
+@pytest.fixture(scope="module")
+def network():
+    topo = abilene()
+    for link in topo.real_links():
+        topo.replace_link(link.link_id, headroom_gbps=100.0)
+    # a light starting matrix: fully servable
+    demands = gravity_demands(topo, 400.0, np.random.default_rng(0))
+    return topo, demands
+
+
+class TestForecast:
+    def test_light_load_survives_some_quarters(self, network):
+        topo, demands = network
+        forecast = forecast_exhaustion(topo, demands, growth_per_quarter=0.25)
+        assert forecast.quarters_until_exhaustion >= 2
+        assert forecast.trajectory[0] == pytest.approx(1.0)
+        assert forecast.satisfaction_at_exhaustion < 1.0
+
+    def test_exhaustion_is_monotone_in_growth(self, network):
+        topo, demands = network
+        slow = forecast_exhaustion(topo, demands, growth_per_quarter=0.05)
+        fast = forecast_exhaustion(topo, demands, growth_per_quarter=0.40)
+        assert fast.quarters_until_exhaustion <= slow.quarters_until_exhaustion
+
+    def test_already_exhausted_is_quarter_zero(self):
+        topo = line_topology(3)
+        forecast = forecast_exhaustion(
+            topo, [Demand("n0", "n2", 500.0)], growth_per_quarter=0.1
+        )
+        assert forecast.quarters_until_exhaustion == 0
+
+    def test_horizon_cap(self, network):
+        topo, demands = network
+        tiny = forecast_exhaustion(
+            topo, demands, growth_per_quarter=0.01, max_quarters=3
+        )
+        assert tiny.quarters_until_exhaustion <= 3
+
+    def test_years_property(self, network):
+        topo, demands = network
+        forecast = forecast_exhaustion(topo, demands, growth_per_quarter=0.25)
+        assert forecast.years_until_exhaustion == pytest.approx(
+            forecast.quarters_until_exhaustion / 4.0
+        )
+
+    def test_validation(self, network):
+        topo, demands = network
+        with pytest.raises(ValueError):
+            forecast_exhaustion(topo, demands, growth_per_quarter=0.0)
+        with pytest.raises(ValueError):
+            forecast_exhaustion(topo, demands, satisfaction_target=0.0)
+        with pytest.raises(ValueError):
+            forecast_exhaustion(topo, demands, max_quarters=0)
+
+
+class TestDeferral:
+    def test_dynamic_defers_exhaustion(self, network):
+        topo, demands = network
+        static, dynamic, deferral = deferral_quarters(
+            topo, demands, growth_per_quarter=0.25
+        )
+        assert deferral > 0
+        assert (
+            dynamic.quarters_until_exhaustion
+            == static.quarters_until_exhaustion + deferral
+        )
+
+    def test_no_headroom_no_deferral(self):
+        topo = abilene()  # headroom all zero
+        demands = gravity_demands(topo, 400.0, np.random.default_rng(0))
+        static, dynamic, deferral = deferral_quarters(
+            topo, demands, growth_per_quarter=0.25
+        )
+        assert deferral == 0

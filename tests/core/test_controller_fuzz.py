@@ -1,0 +1,103 @@
+"""Property-based fuzzing of the closed-loop controller.
+
+Whatever SNR sequence telemetry throws at it, the controller must keep
+its invariants: capacities stay on the modulation ladder (or zero), TE
+solutions audit clean, downtime only accrues when hardware is touched,
+and the loop is deterministic given its seed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controller import DynamicCapacityController
+from repro.core.policies import crawl_policy, run_policy, walk_policy
+from repro.net.demands import gravity_demands
+from repro.net.topologies import figure7_topology
+from repro.optics.modulation import DEFAULT_MODULATIONS
+
+LADDER = set(DEFAULT_MODULATIONS.capacities_gbps) | {0.0}
+
+snr_values = st.floats(min_value=0.0, max_value=22.0)
+policies = st.sampled_from([run_policy, walk_policy, crawl_policy])
+
+
+def make_controller(policy_factory):
+    topo = figure7_topology()
+    return (
+        topo,
+        DynamicCapacityController(topo, policy=policy_factory(), seed=1),
+        gravity_demands(topo, 600.0, np.random.default_rng(0)),
+    )
+
+
+class TestControllerInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rounds=st.lists(
+            st.lists(snr_values, min_size=8, max_size=8),
+            min_size=1,
+            max_size=4,
+        ),
+        policy_factory=policies,
+    )
+    def test_invariants_hold_under_arbitrary_snr(self, rounds, policy_factory):
+        topo, controller, demands = make_controller(policy_factory)
+        link_ids = [l.link_id for l in topo.real_links()]
+        for snr_row in rounds:
+            snrs = dict(zip(link_ids, snr_row))
+            report = controller.step(snrs, demands)
+            # capacities stay on the ladder
+            for capacity in controller.capacity.values():
+                assert capacity in LADDER
+            # the TE state respects physics
+            assert report.solution.is_valid()
+            # no flow on failed links
+            for link_id in report.failed_links:
+                assert report.solution.link_flow(link_id) == 0.0
+            # downtime only when hardware changed
+            if report.n_capacity_changes == 0 and not report.failed_links:
+                assert report.reconfiguration_downtime_s == 0.0
+            assert report.reconfiguration_downtime_s >= 0.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        snr_row=st.lists(snr_values, min_size=8, max_size=8),
+        policy_factory=policies,
+    )
+    def test_determinism(self, snr_row, policy_factory):
+        topo_a, ctrl_a, demands = make_controller(policy_factory)
+        topo_b, ctrl_b, _ = make_controller(policy_factory)
+        link_ids = [l.link_id for l in topo_a.real_links()]
+        snrs = dict(zip(link_ids, snr_row))
+        ra = ctrl_a.step(snrs, demands)
+        rb = ctrl_b.step(snrs, demands)
+        assert ctrl_a.capacity == ctrl_b.capacity
+        assert ra.throughput_gbps == pytest.approx(rb.throughput_gbps)
+
+    @settings(max_examples=10, deadline=None)
+    @given(snr=st.floats(min_value=7.0, max_value=22.0))
+    def test_healthy_snr_never_fails_links(self, snr):
+        topo, controller, demands = make_controller(run_policy)
+        snrs = {l.link_id: snr for l in topo.real_links()}
+        report = controller.step(snrs, demands)
+        assert report.failed_links == ()
+        assert all(c >= 100.0 for c in controller.capacity.values())
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        first=st.floats(min_value=7.0, max_value=22.0),
+        dip=st.floats(min_value=0.0, max_value=6.4),
+    )
+    def test_dip_and_recovery_round_trip(self, first, dip):
+        """SNR dip then full recovery always restores service."""
+        topo, controller, demands = make_controller(run_policy)
+        link_ids = [l.link_id for l in topo.real_links()]
+        healthy = {i: first for i in link_ids}
+        controller.step(healthy, demands)
+        victim = link_ids[0]
+        controller.step({**healthy, victim: dip}, demands)
+        assert controller.capacity[victim] < 100.0  # flapped or failed
+        controller.step(healthy, demands)
+        assert controller.capacity[victim] >= 100.0

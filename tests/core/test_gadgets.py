@@ -1,0 +1,112 @@
+"""Tests for the Figure-8 unsplittable-flow gadget."""
+
+import pytest
+
+from repro.core.gadgets import apply_unsplittable_gadget
+from repro.core.penalties import ConstantPenalty
+from repro.net.paths import k_shortest_paths, path_capacity
+from repro.net.topology import Topology
+from repro.te.maxflow import max_flow, min_cost_max_flow
+
+
+@pytest.fixture
+def single_link():
+    topo = Topology("one")
+    topo.add_link("A", "B", 100.0, headroom_gbps=100.0, link_id="ab")
+    return topo
+
+
+class TestConstruction:
+    def test_gadget_shape(self, single_link):
+        g = apply_unsplittable_gadget(single_link)
+        topo = g.topology
+        assert "ab@mid" in topo.nodes
+        assert "ab@base" in topo
+        assert "ab@upgraded" in topo
+        assert "ab@tail" in topo
+        assert g.upgrade_to_real["ab@upgraded"] == "ab"
+
+    def test_capacities(self, single_link):
+        topo = apply_unsplittable_gadget(single_link).topology
+        assert topo.link("ab@base").capacity_gbps == 100.0
+        assert topo.link("ab@upgraded").capacity_gbps == 200.0
+        assert topo.link("ab@tail").capacity_gbps == 200.0
+
+    def test_penalty_on_upgraded_edge_only(self, single_link):
+        topo = apply_unsplittable_gadget(
+            single_link, penalty_policy=ConstantPenalty(100.0)
+        ).topology
+        assert topo.link("ab@upgraded").penalty == 100.0
+        assert topo.link("ab@base").penalty == 0.0
+        assert topo.link("ab@tail").penalty == 0.0
+
+    def test_links_without_headroom_pass_through(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, link_id="plain")
+        g = apply_unsplittable_gadget(topo)
+        assert "plain" in g.topology
+        assert g.upgrade_to_real == {}
+
+    def test_explicit_selection(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, headroom_gbps=100.0, link_id="x")
+        topo.add_link("B", "C", 100.0, headroom_gbps=100.0, link_id="y")
+        g = apply_unsplittable_gadget(topo, ["x"])
+        assert "x@upgraded" in g.topology
+        assert "y" in g.topology  # untouched
+        assert "y@upgraded" not in g.topology
+
+    def test_rejects_gadget_on_no_headroom(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, link_id="plain")
+        with pytest.raises(ValueError, match="no headroom"):
+            apply_unsplittable_gadget(topo, ["plain"])
+
+    def test_rejects_unknown_link(self, single_link):
+        with pytest.raises(KeyError):
+            apply_unsplittable_gadget(single_link, ["nope"])
+
+    def test_input_not_modified(self, single_link):
+        apply_unsplittable_gadget(single_link)
+        assert single_link.n_links == 1
+
+
+class TestFlowSemantics:
+    def test_single_path_at_full_rate_exists(self, single_link):
+        """The Figure-8 property: one unsplittable 200 Gbps path."""
+        topo = apply_unsplittable_gadget(single_link).topology
+        paths = k_shortest_paths(topo, "A", "B", 3)
+        assert any(path_capacity(p) == 200.0 for p in paths)
+
+    def test_parallel_augmentation_lacks_full_rate_path(self, single_link):
+        """Contrast: plain augmentation caps every single path at 100."""
+        from repro.core.augmentation import augment_topology
+
+        aug = augment_topology(single_link)
+        paths = k_shortest_paths(aug.topology, "A", "B", 3)
+        assert all(path_capacity(p) == 100.0 for p in paths)
+
+    def test_total_capacity_still_physical(self, single_link):
+        """The gadget must not create capacity: max flow stays 200."""
+        topo = apply_unsplittable_gadget(single_link).topology
+        assert max_flow(topo, "A", "B").value_gbps == pytest.approx(200.0)
+
+    def test_min_cost_avoids_upgrade_when_enough(self, single_link):
+        """Below 100 Gbps of demand, min-cost flow avoids the paid edge."""
+        topo = apply_unsplittable_gadget(
+            single_link, penalty_policy=ConstantPenalty(100.0)
+        ).topology
+        result = min_cost_max_flow(topo, "A", "B")
+        # max flow is 200 so the upgrade is used, but only for the
+        # second hundred: penalty = 100 Gbps * 100 = 10,000
+        assert result.value_gbps == pytest.approx(200.0)
+        assert result.penalty_cost == pytest.approx(100.0 * 100.0, rel=1e-3)
+
+    def test_gadget_in_context(self):
+        """Gadget on one link of a longer chain routes end to end."""
+        topo = Topology()
+        topo.add_link("S", "A", 200.0, link_id="sa")
+        topo.add_link("A", "B", 100.0, headroom_gbps=100.0, link_id="ab")
+        topo.add_link("B", "T", 200.0, link_id="bt")
+        g = apply_unsplittable_gadget(topo)
+        assert max_flow(g.topology, "S", "T").value_gbps == pytest.approx(200.0)

@@ -1,0 +1,76 @@
+"""Tests for penalty policies."""
+
+import pytest
+
+from repro.core.penalties import (
+    ConstantPenalty,
+    PriorityWeightedPenalty,
+    TrafficDisruptionPenalty,
+    ZeroPenalty,
+)
+from repro.net.topology import Link
+
+
+@pytest.fixture
+def link():
+    return Link("A->B", "A", "B", 100.0, headroom_gbps=100.0)
+
+
+class TestZeroPenalty:
+    def test_always_zero(self, link):
+        assert ZeroPenalty()(link, 0.0) == 0.0
+        assert ZeroPenalty()(link, 500.0) == 0.0
+
+
+class TestConstantPenalty:
+    def test_value(self, link):
+        assert ConstantPenalty(100.0)(link, 42.0) == 100.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantPenalty(-1.0)
+
+
+class TestTrafficDisruption:
+    def test_idle_link_is_free(self, link):
+        assert TrafficDisruptionPenalty()(link, 0.0) == 0.0
+
+    def test_scales_with_traffic(self, link):
+        policy = TrafficDisruptionPenalty(scale=2.0)
+        assert policy(link, 30.0) == 60.0
+
+    def test_floor(self, link):
+        policy = TrafficDisruptionPenalty(floor=5.0)
+        assert policy(link, 0.0) == 5.0
+        assert policy(link, 100.0) == 100.0
+
+    def test_rejects_negative_traffic(self, link):
+        with pytest.raises(ValueError):
+            TrafficDisruptionPenalty()(link, -1.0)
+
+    def test_rejects_negative_params(self):
+        with pytest.raises(ValueError):
+            TrafficDisruptionPenalty(scale=-1.0)
+
+
+class TestPriorityWeighted:
+    def test_weights_base(self, link):
+        policy = PriorityWeightedPenalty(
+            TrafficDisruptionPenalty(), lambda _: 10.0
+        )
+        assert policy(link, 5.0) == 50.0
+
+    def test_per_link_weights(self):
+        weights = {"hot": 10.0, "cold": 1.0}
+        policy = PriorityWeightedPenalty(
+            ConstantPenalty(1.0), lambda link_id: weights[link_id]
+        )
+        hot = Link("hot", "A", "B", 100.0)
+        cold = Link("cold", "A", "B", 100.0)
+        assert policy(hot, 0.0) == 10.0
+        assert policy(cold, 0.0) == 1.0
+
+    def test_rejects_negative_weight(self, link):
+        policy = PriorityWeightedPenalty(ConstantPenalty(1.0), lambda _: -1.0)
+        with pytest.raises(ValueError):
+            policy(link, 0.0)

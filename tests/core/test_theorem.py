@@ -1,0 +1,123 @@
+"""Property-based verification of Theorem 1.
+
+The theorem claims min-cost max-flow on the augmented G' equals
+max-flow on the variable-capacity G (taken at full feasible capacity).
+We check it on hand-built cases and on randomised topologies with
+randomised headroom — the closest a reproduction gets to machine-
+checking the paper's (unpublished) proof.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.penalties import ConstantPenalty, ZeroPenalty
+from repro.core.theorem import check_theorem1, fully_upgraded
+from repro.net.topologies import figure7_topology, random_wan
+from repro.net.topology import Topology
+
+
+class TestFullyUpgraded:
+    def test_headroom_folded_into_capacity(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, headroom_gbps=50.0, link_id="ab")
+        full = fully_upgraded(topo)
+        assert full.link("ab").capacity_gbps == 150.0
+        assert full.link("ab").headroom_gbps == 0.0
+
+    def test_original_untouched(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, headroom_gbps=50.0, link_id="ab")
+        fully_upgraded(topo)
+        assert topo.link("ab").capacity_gbps == 100.0
+
+
+class TestHandBuiltCases:
+    def test_single_link(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, headroom_gbps=100.0)
+        report = check_theorem1(topo, "A", "B")
+        assert report.holds
+        assert report.maxflow_on_full_g == pytest.approx(200.0)
+        assert report.upgrade_gain_gbps == pytest.approx(100.0)
+
+    def test_figure7(self):
+        topo = figure7_topology()
+        for link in list(topo.links):
+            topo.replace_link(link.link_id, headroom_gbps=100.0)
+        report = check_theorem1(
+            topo, "A", "D", penalty_policy=ConstantPenalty(100.0)
+        )
+        assert report.holds
+        assert report.maxflow_on_full_g == pytest.approx(400.0)
+
+    def test_no_headroom_degenerates_to_plain_maxflow(self):
+        topo = figure7_topology()
+        report = check_theorem1(topo, "A", "D")
+        assert report.holds
+        assert report.upgrade_gain_gbps == 0.0
+
+    def test_bottleneck_elsewhere_means_no_gain(self):
+        # upgrading a non-bottleneck link cannot raise the max flow
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, headroom_gbps=100.0)
+        topo.add_link("B", "C", 100.0)  # the real bottleneck
+        report = check_theorem1(topo, "A", "C")
+        assert report.holds
+        assert report.maxflow_on_full_g == pytest.approx(100.0)
+        assert report.upgrade_gain_gbps == 0.0
+
+    def test_penalty_minimality(self):
+        # when the static graph already achieves the max flow, the
+        # min-cost solution must not pay any penalty
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, headroom_gbps=100.0)
+        topo.add_link("B", "C", 100.0)
+        report = check_theorem1(
+            topo, "A", "C", penalty_policy=ConstantPenalty(7.0)
+        )
+        assert report.mcmf_penalty == pytest.approx(0.0, abs=1e-6)
+
+
+class TestRandomised:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_nodes=st.integers(min_value=3, max_value=10),
+        penalty=st.floats(min_value=0.0, max_value=500.0),
+    )
+    def test_equivalence_on_random_wans(self, seed, n_nodes, penalty):
+        rng = np.random.default_rng(seed)
+        topo = random_wan(n_nodes, rng)
+        # random headroom on a random subset of links
+        for link in list(topo.links):
+            if rng.random() < 0.5:
+                topo.replace_link(
+                    link.link_id,
+                    headroom_gbps=float(rng.choice([25.0, 50.0, 75.0, 100.0])),
+                )
+        nodes = topo.nodes
+        src, dst = nodes[0], nodes[-1]
+        report = check_theorem1(
+            topo, src, dst, penalty_policy=ConstantPenalty(penalty)
+        )
+        assert report.holds, (
+            f"theorem violated: full={report.maxflow_on_full_g} "
+            f"mcmf={report.mcmf_on_augmented}"
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_gain_is_nonnegative_and_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        topo = random_wan(6, rng)
+        total_headroom = 0.0
+        for link in list(topo.links):
+            h = float(rng.choice([0.0, 50.0, 100.0]))
+            total_headroom += h
+            topo.replace_link(link.link_id, headroom_gbps=h)
+        report = check_theorem1(topo, topo.nodes[0], topo.nodes[1],
+                                penalty_policy=ZeroPenalty())
+        assert report.upgrade_gain_gbps >= -1e-6
+        assert report.upgrade_gain_gbps <= total_headroom + 1e-6

@@ -1,0 +1,119 @@
+"""Tests for translating G' solutions back to the physical network."""
+
+import pytest
+
+from repro.core.augmentation import augment_topology
+from repro.core.penalties import ConstantPenalty
+from repro.core.translation import translate
+from repro.net.demands import Demand
+from repro.net.topologies import figure7_topology
+from repro.net.topology import Topology
+from repro.optics.modulation import DEFAULT_MODULATIONS
+from repro.te.lp import MultiCommodityLp
+
+
+def upgradable_figure7():
+    topo = figure7_topology()
+    for src, dst in (("A", "B"), ("B", "A"), ("C", "D"), ("D", "C")):
+        link_id = topo.links_between(src, dst)[0].link_id
+        topo.replace_link(link_id, headroom_gbps=100.0)
+    return topo
+
+
+def solve(aug, demands):
+    return MultiCommodityLp(aug.topology, demands).min_penalty_at_max_throughput()
+
+
+class TestPaperExample:
+    """Section 4.1's worked example, end to end."""
+
+    def test_one_upgrade_suffices(self):
+        topo = upgradable_figure7()
+        aug = augment_topology(topo, penalty_policy=ConstantPenalty(100.0))
+        demands = [Demand("A", "B", 125.0), Demand("C", "D", 125.0)]
+        outcome = solve(aug, demands)
+        assert outcome.solution.total_allocated_gbps == pytest.approx(250.0, abs=0.1)
+        result = translate(aug, outcome.solution, table=DEFAULT_MODULATIONS)
+        # the paper: "updating one link's capacity suffices"
+        assert len(result.upgrades) == 1
+        assert result.solution.is_valid()
+
+    def test_upgrade_rounded_to_ladder(self):
+        topo = upgradable_figure7()
+        aug = augment_topology(topo, penalty_policy=ConstantPenalty(100.0))
+        demands = [Demand("A", "B", 125.0), Demand("C", "D", 125.0)]
+        result = translate(
+            aug, solve(aug, demands).solution, table=DEFAULT_MODULATIONS
+        )
+        assert result.upgrades[0].new_capacity_gbps in (150.0, 175.0, 200.0)
+
+    def test_no_upgrades_when_demand_fits(self):
+        topo = upgradable_figure7()
+        aug = augment_topology(topo, penalty_policy=ConstantPenalty(100.0))
+        demands = [Demand("A", "B", 80.0), Demand("C", "D", 80.0)]
+        result = translate(aug, solve(aug, demands).solution)
+        assert result.upgrades == ()
+        assert result.total_gain_gbps == 0.0
+
+
+class TestMechanics:
+    """A nonzero penalty makes fake-link use minimal, so the amount of
+    headroom the LP consumes is deterministic (with zero penalty the
+    real/fake split is arbitrary — both are free)."""
+
+    @pytest.fixture
+    def simple(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, headroom_gbps=100.0, link_id="ab")
+        return topo
+
+    @staticmethod
+    def _augment(topo):
+        return augment_topology(topo, penalty_policy=ConstantPenalty(1.0))
+
+    def test_fake_flow_merged_into_real(self, simple):
+        aug = self._augment(simple)
+        outcome = solve(aug, [Demand("A", "B", 150.0)])
+        result = translate(aug, outcome.solution)
+        assignment = result.solution.assignments[0]
+        assert set(assignment.edge_flows) == {"ab"}
+        assert assignment.edge_flows["ab"] == pytest.approx(150.0, abs=0.1)
+
+    def test_upgraded_topology_capacity(self, simple):
+        aug = self._augment(simple)
+        outcome = solve(aug, [Demand("A", "B", 150.0)])
+        result = translate(aug, outcome.solution, table=DEFAULT_MODULATIONS)
+        assert result.upgraded_topology.link("ab").capacity_gbps == 150.0
+        assert result.solution.is_valid()
+
+    def test_disrupted_traffic_recorded(self, simple):
+        aug = self._augment(simple)
+        outcome = solve(aug, [Demand("A", "B", 150.0)])
+        result = translate(aug, outcome.solution)
+        upgrade = result.upgrades[0]
+        # 100 Gbps rides the real link while it is being upgraded
+        assert upgrade.disrupted_traffic_gbps == pytest.approx(100.0, abs=0.1)
+        assert upgrade.headroom_used_gbps == pytest.approx(50.0, abs=0.1)
+        assert result.total_disrupted_gbps == upgrade.disrupted_traffic_gbps
+
+    def test_without_table_exact_capacity(self, simple):
+        aug = self._augment(simple)
+        outcome = solve(aug, [Demand("A", "B", 130.0)])
+        result = translate(aug, outcome.solution)
+        assert result.upgraded_topology.link("ab").capacity_gbps == pytest.approx(
+            130.0, abs=0.1
+        )
+
+    def test_mismatched_solution_rejected(self, simple):
+        aug = augment_topology(simple)
+        other = Topology()
+        other.add_link("X", "Y", 10.0, link_id="xy")
+        foreign = MultiCommodityLp(other, [Demand("X", "Y", 5.0)]).max_throughput()
+        with pytest.raises(ValueError, match="does not belong"):
+            translate(aug, foreign.solution)
+
+    def test_gain_accounting(self, simple):
+        aug = augment_topology(simple)
+        outcome = solve(aug, [Demand("A", "B", 200.0)])
+        result = translate(aug, outcome.solution, table=DEFAULT_MODULATIONS)
+        assert result.total_gain_gbps == pytest.approx(100.0)

@@ -1,0 +1,128 @@
+"""Tests for consistent-update tooling (drain plans, staged migration)."""
+
+import numpy as np
+import pytest
+
+from repro.core.updates import (
+    drain_plan,
+    max_stage_churn_gbps,
+    migration_stages,
+)
+from repro.net.demands import Demand, gravity_demands
+from repro.net.topologies import abilene, figure7_topology
+from repro.te.lp import MultiCommodityLp
+from repro.te.solution import TeSolution
+
+
+def lp_te(topology, demands):
+    return MultiCommodityLp(topology, demands).max_throughput().solution
+
+
+class TestDrainPlan:
+    def test_drained_links_carry_nothing(self):
+        topo = abilene()
+        demands = gravity_demands(topo, 2000.0, np.random.default_rng(0))
+        victim = topo.real_links()[0].link_id
+        plan = drain_plan(topo, demands, [victim], lp_te)
+        assert plan.interim_solution.link_flow(victim) == 0.0
+        assert plan.interim_solution.is_valid()
+
+    def test_sacrifice_measured(self):
+        # draining the only link between two nodes costs throughput
+        topo = figure7_topology()
+        demands = [Demand("A", "B", 200.0)]
+        ab = topo.links_between("A", "B")[0].link_id
+        plan = drain_plan(topo, demands, [ab], lp_te)
+        # A->B still reachable via A-C-D-B at 100
+        assert plan.interim_solution.total_allocated_gbps == pytest.approx(100.0)
+        assert plan.throughput_sacrifice_gbps == pytest.approx(100.0)
+
+    def test_redundant_topology_drains_free(self):
+        topo = abilene()
+        demands = gravity_demands(topo, 500.0, np.random.default_rng(1))
+        victim = topo.real_links()[0].link_id
+        plan = drain_plan(topo, demands, [victim], lp_te)
+        assert plan.throughput_sacrifice_gbps < 1.0  # light load reroutes
+
+    def test_baseline_reuse(self):
+        topo = figure7_topology()
+        demands = [Demand("A", "B", 50.0)]
+        baseline = lp_te(topo, demands)
+        ab = topo.links_between("A", "B")[0].link_id
+        plan = drain_plan(topo, demands, [ab], lp_te, baseline=baseline)
+        assert plan.throughput_sacrifice_gbps == pytest.approx(0.0, abs=0.1)
+
+    def test_rejects_empty_and_unknown(self):
+        topo = figure7_topology()
+        demands = [Demand("A", "B", 10.0)]
+        with pytest.raises(ValueError):
+            drain_plan(topo, demands, [], lp_te)
+        with pytest.raises(KeyError):
+            drain_plan(topo, demands, ["nope"], lp_te)
+
+
+class TestMigrationStages:
+    @pytest.fixture
+    def endpoints(self):
+        topo = figure7_topology()
+        demands = [Demand("A", "D", 150.0)]
+        lp = MultiCommodityLp(topo, demands)
+        current = lp.max_throughput().solution
+        # target: the same demand forced onto different paths by pricing
+        priced = topo.copy()
+        ab = priced.links_between("A", "B")[0].link_id
+        priced.replace_link(ab, penalty=10.0)
+        target_raw = (
+            MultiCommodityLp(priced, demands).min_penalty_at_max_throughput().solution
+        )
+        target = TeSolution(topo, target_raw.assignments)
+        return topo, current, target
+
+    def test_every_stage_feasible(self, endpoints):
+        _, current, target = endpoints
+        stages = migration_stages(current, target, n_stages=4)
+        assert len(stages) == 4
+        for stage in stages:
+            assert stage.solution.is_valid(), f"stage {stage.fraction} infeasible"
+
+    def test_last_stage_is_target(self, endpoints):
+        topo, current, target = endpoints
+        stages = migration_stages(current, target, n_stages=3)
+        last = stages[-1].solution
+        for link in topo.links:
+            assert last.link_flow(link.link_id) == pytest.approx(
+                target.link_flow(link.link_id), abs=1e-6
+            )
+
+    def test_throughput_interpolates(self, endpoints):
+        _, current, target = endpoints
+        stages = migration_stages(current, target, n_stages=4)
+        for stage in stages:
+            expected = (
+                (1 - stage.fraction) * current.total_allocated_gbps
+                + stage.fraction * target.total_allocated_gbps
+            )
+            assert stage.solution.total_allocated_gbps == pytest.approx(expected)
+
+    def test_more_stages_less_churn(self, endpoints):
+        _, current, target = endpoints
+        coarse = max_stage_churn_gbps(migration_stages(current, target, n_stages=2))
+        fine = max_stage_churn_gbps(migration_stages(current, target, n_stages=8))
+        assert fine < coarse
+
+    def test_mismatched_demands_rejected(self, endpoints):
+        topo, current, _ = endpoints
+        other = MultiCommodityLp(
+            topo, [Demand("A", "B", 10.0)]
+        ).max_throughput().solution
+        with pytest.raises(ValueError, match="demand"):
+            migration_stages(current, other)
+
+    def test_rejects_zero_stages(self, endpoints):
+        _, current, target = endpoints
+        with pytest.raises(ValueError):
+            migration_stages(current, target, n_stages=0)
+
+    def test_churn_requires_stages(self):
+        with pytest.raises(ValueError):
+            max_stage_churn_gbps([])

@@ -1,0 +1,150 @@
+"""Cross-module scenario tests: chains several subsystems end to end.
+
+Each scenario is the kind of workflow a downstream user would script;
+the assertions check the *joints* between modules, which unit tests by
+construction cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bvt.fleet import BvtFleet
+from repro.bvt.transceiver import ChangeProcedure
+from repro.core import (
+    ConstantPenalty,
+    TrafficDisruptionPenalty,
+    augment_topology,
+    schedule_reconfigurations,
+    translate,
+)
+from repro.net import (
+    FiberPlant,
+    abilene,
+    gravity_demands,
+    site_coordinates,
+)
+from repro.optics.modulation import DEFAULT_MODULATIONS
+from repro.sim.whatif import replay_tickets
+from repro.te import MultiCommodityLp
+from repro.telemetry.dataset import BackboneConfig, BackboneDataset
+from repro.tickets.correlate import tickets_from_dataset
+
+
+@pytest.fixture(scope="module")
+def plant():
+    topo = abilene()
+    return FiberPlant(topo, site_coordinates(topo), seed=3)
+
+
+class TestPlanToHardwarePipeline:
+    """plant -> augment -> TE -> translate -> schedule -> fleet."""
+
+    def test_upgrade_campaign(self, plant):
+        topology = plant.with_headroom()
+        demands = gravity_demands(
+            topology, 6000.0, np.random.default_rng(0)
+        )
+        augmented = augment_topology(
+            topology, penalty_policy=TrafficDisruptionPenalty()
+        )
+        outcome = MultiCommodityLp(
+            augmented.topology, demands
+        ).min_penalty_at_max_throughput()
+        translation = translate(
+            augmented, outcome.solution, table=DEFAULT_MODULATIONS
+        )
+        assert translation.upgrades, "heavy demand must trigger upgrades"
+
+        schedule = schedule_reconfigurations(
+            translation.upgrades, plant.srlg_map()
+        )
+        # SRLG safety: both directions of a cable never in one batch
+        for batch in schedule.batches:
+            cables = [plant.segment_of(i).cable_name for i in batch.link_ids]
+            assert len(cables) == len(set(cables))
+
+        fleet = BvtFleet(
+            {u.link_id: u.old_capacity_gbps for u in translation.upgrades},
+            seed=1,
+        )
+        timeline = fleet.execute_schedule(
+            schedule, procedure=ChangeProcedure.EFFICIENT
+        )
+        assert timeline.n_changes == len(translation.upgrades)
+        for upgrade in translation.upgrades:
+            assert fleet.capacity_of(upgrade.link_id) == upgrade.new_capacity_gbps
+        # efficient hardware: the whole campaign fits in under a second
+        assert timeline.total_wallclock_s < 1.0
+
+
+class TestTelemetryToTicketsToWhatIf:
+    """dataset events -> derived tickets -> what-if replay."""
+
+    def test_derived_tickets_replay_cleanly(self):
+        dataset = BackboneDataset(
+            BackboneConfig(n_cables=4, years=0.5, seed=21)
+        )
+        tickets = tickets_from_dataset(dataset)
+        assert tickets, "half a year of cables should produce events"
+
+        # map dataset cables onto a ring topology of matching size
+        from repro.net import Topology, duplex_srlgs
+
+        specs = dataset.cable_specs()
+        topo = Topology("ring")
+        nodes = [f"s{i}" for i in range(len(specs))]
+        for i in range(len(specs)):
+            topo.add_duplex_link(nodes[i], nodes[(i + 1) % len(nodes)], 100.0)
+        srlgs = duplex_srlgs(topo)
+        # rename ticket elements onto the ring's cables round-robin
+        ring_cables = srlgs.cables()
+        from dataclasses import replace
+
+        mapped = [
+            replace(t, element=ring_cables[i % len(ring_cables)])
+            for i, t in enumerate(tickets)
+        ]
+        demands = gravity_demands(topo, 500.0, np.random.default_rng(1))
+        report = replay_tickets(topo, demands, mapped, srlgs)
+        assert report.n_tickets == len(tickets)
+        # a ring survives any single cable loss (rerouting the long way),
+        # so dynamic never loses more than binary
+        for verdict in report.verdicts:
+            assert verdict.rescued_gbps >= -1e-6
+
+
+class TestTheoremOnPlantDerivedHeadroom:
+    """Theorem 1 on physically derived (not hand-set) headroom."""
+
+    def test_equivalence(self, plant):
+        from repro.core import check_theorem1
+
+        topology = plant.with_headroom()
+        report = check_theorem1(
+            topology,
+            "Seattle",
+            "NewYork",
+            penalty_policy=ConstantPenalty(50.0),
+        )
+        assert report.holds
+        assert report.upgrade_gain_gbps >= 0.0
+
+
+class TestPersistenceRoundTripThroughAnalysis:
+    """save -> load -> figures give identical statistics."""
+
+    def test_figures_identical_after_reload(self, tmp_path):
+        from repro.analysis import figures
+        from repro.telemetry.io import load_summaries, save_summaries
+
+        dataset = BackboneDataset(
+            BackboneConfig(n_cables=3, years=0.5, seed=8)
+        )
+        summaries = dataset.summaries()
+        path = save_summaries(tmp_path / "s.json", summaries)
+        reloaded = load_summaries(path)
+
+        a = figures.fig2a_snr_variation(summaries)
+        b = figures.fig2a_snr_variation(reloaded)
+        assert a.frac_hdr_below_2db == b.frac_hdr_below_2db
+        assert a.mean_range_db == b.mean_range_db

@@ -1,0 +1,159 @@
+"""Tests for the multigraph topology."""
+
+import pytest
+
+from repro.net.topology import Link, Topology
+
+
+@pytest.fixture
+def square():
+    topo = Topology("square")
+    topo.add_duplex_link("A", "B", 100.0)
+    topo.add_duplex_link("B", "C", 100.0)
+    topo.add_duplex_link("C", "D", 100.0)
+    topo.add_duplex_link("D", "A", 100.0)
+    return topo
+
+
+class TestLinkValidation:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Link("x", "A", "A", 100.0)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Link("x", "A", "B", 0.0)
+
+    def test_rejects_negative_headroom(self):
+        with pytest.raises(ValueError, match="headroom"):
+            Link("x", "A", "B", 100.0, headroom_gbps=-1.0)
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ValueError, match="penalty"):
+            Link("x", "A", "B", 100.0, penalty=-1.0)
+
+    def test_fake_link_needs_shadow(self):
+        with pytest.raises(ValueError, match="shadow"):
+            Link("x", "A", "B", 100.0, is_fake=True)
+
+    def test_fake_link_with_shadow_ok(self):
+        link = Link("x", "A", "B", 100.0, is_fake=True, shadow_of="orig")
+        assert link.shadow_of == "orig"
+
+
+class TestConstruction:
+    def test_nodes_created_implicitly(self, square):
+        assert square.nodes == ("A", "B", "C", "D")
+        assert square.n_links == 8
+
+    def test_duplicate_link_id_rejected(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, link_id="x")
+        with pytest.raises(ValueError, match="duplicate"):
+            topo.add_link("A", "B", 100.0, link_id="x")
+
+    def test_parallel_links_allowed(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        topo.add_link("A", "B", 100.0)
+        assert len(topo.links_between("A", "B")) == 2
+
+    def test_generated_ids_unique(self):
+        topo = Topology()
+        ids = {topo.add_link("A", "B", 100.0).link_id for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_remove_link(self, square):
+        link_id = square.links_between("A", "B")[0].link_id
+        removed = square.remove_link(link_id)
+        assert removed.src == "A"
+        assert link_id not in square
+        assert square.links_between("A", "B") == []
+
+    def test_remove_missing_link_raises(self, square):
+        with pytest.raises(KeyError):
+            square.remove_link("nope")
+
+    def test_replace_link_capacity(self, square):
+        link_id = square.links_between("A", "B")[0].link_id
+        square.replace_link(link_id, capacity_gbps=200.0)
+        assert square.link(link_id).capacity_gbps == 200.0
+
+    def test_replace_link_cannot_move(self, square):
+        link_id = square.links_between("A", "B")[0].link_id
+        with pytest.raises(ValueError, match="move"):
+            square.replace_link(link_id, src="C")
+
+
+class TestQueries:
+    def test_out_in_links(self, square):
+        assert {l.dst for l in square.out_links("A")} == {"B", "D"}
+        assert {l.src for l in square.in_links("A")} == {"B", "D"}
+
+    def test_link_lookup_missing(self, square):
+        with pytest.raises(KeyError):
+            square.link("nope")
+
+    def test_real_vs_fake_partition(self):
+        topo = Topology()
+        real = topo.add_link("A", "B", 100.0)
+        topo.add_link(
+            "A", "B", 100.0, is_fake=True, shadow_of=real.link_id
+        )
+        assert len(topo.real_links()) == 1
+        assert len(topo.fake_links()) == 1
+
+    def test_total_capacity(self, square):
+        assert square.total_capacity_gbps() == 800.0
+
+    def test_contains_and_iter(self, square):
+        ids = [l.link_id for l in square]
+        assert len(ids) == 8
+        assert ids[0] in square
+
+    def test_repr(self, square):
+        assert "nodes=4" in repr(square)
+
+
+class TestCopy:
+    def test_copy_is_independent(self, square):
+        clone = square.copy()
+        link_id = clone.links_between("A", "B")[0].link_id
+        clone.remove_link(link_id)
+        assert link_id in square
+        assert link_id not in clone
+
+    def test_copy_generates_fresh_ids(self, square):
+        clone = square.copy()
+        new = clone.add_link("A", "C", 100.0)
+        assert new.link_id not in [l.link_id for l in square]
+
+
+class TestConversions:
+    def test_to_networkx(self, square):
+        g = square.to_networkx()
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 8
+
+    def test_networkx_keeps_parallel_edges(self):
+        topo = Topology()
+        real = topo.add_link("A", "B", 100.0)
+        topo.add_link("A", "B", 50.0, is_fake=True, shadow_of=real.link_id)
+        g = topo.to_networkx()
+        assert g.number_of_edges("A", "B") == 2
+
+    def test_link_expanded_digraph(self, square):
+        g = square.to_link_expanded_digraph()
+        # every link becomes one mid node and two edges
+        assert g.number_of_nodes() == 4 + 8
+        assert g.number_of_edges() == 16
+
+    def test_expanded_graph_distinguishes_parallel_links(self):
+        topo = Topology()
+        real = topo.add_link("A", "B", 100.0, link_id="real")
+        topo.add_link(
+            "A", "B", 100.0, link_id="fake", is_fake=True, shadow_of="real"
+        )
+        g = topo.to_link_expanded_digraph()
+        assert ("link", "real") in g
+        assert ("link", "fake") in g

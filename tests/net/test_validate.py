@@ -1,0 +1,110 @@
+"""Tests for topology validation."""
+
+import pytest
+
+from repro.net.topologies import abilene, figure7_topology
+from repro.net.topology import Topology
+from repro.net.validate import assert_deployable, validate_topology
+
+
+def severities(findings):
+    return [f.severity for f in findings]
+
+
+class TestValidation:
+    def test_canonical_topologies_clean(self):
+        assert validate_topology(abilene()) == []
+        assert validate_topology(figure7_topology()) == []
+
+    def test_empty_topology(self):
+        findings = validate_topology(Topology())
+        assert severities(findings) == ["error"]
+        assert "no nodes" in findings[0].message
+
+    def test_no_links(self):
+        topo = Topology()
+        topo.add_node("A")
+        findings = validate_topology(topo)
+        assert "no links" in findings[0].message
+
+    def test_isolated_node_warned(self):
+        topo = figure7_topology()
+        topo.add_node("lonely")
+        findings = validate_topology(topo)
+        assert any("lonely" in f.message for f in findings)
+        assert all(f.severity == "warning" for f in findings)
+
+    def test_disconnection_is_error(self):
+        topo = Topology()
+        topo.add_duplex_link("A", "B", 100.0)
+        topo.add_duplex_link("C", "D", 100.0)
+        findings = validate_topology(topo)
+        assert any(
+            f.severity == "error" and "strongly connected" in f.message
+            for f in findings
+        )
+
+    def test_missing_reverse_direction_warned(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        topo.add_link("B", "A", 100.0)
+        topo.add_link("A", "C", 100.0)
+        topo.add_link("C", "A", 100.0)
+        topo.add_link("B", "C", 100.0)  # simplex!
+        findings = validate_topology(topo)
+        assert any("no reverse" in f.message for f in findings)
+
+    def test_asymmetric_capacity_warned(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        topo.add_link("B", "A", 40.0)
+        findings = validate_topology(topo)
+        assert any("asymmetric" in f.message for f in findings)
+
+    def test_duplex_check_can_be_disabled(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        topo.add_link("B", "A", 40.0)
+        findings = validate_topology(topo, expect_duplex=False)
+        assert findings == []
+
+    def test_too_many_parallel_links(self):
+        topo = Topology()
+        for _ in range(5):
+            topo.add_link("A", "B", 100.0)
+            topo.add_link("B", "A", 100.0)
+        findings = validate_topology(topo, max_parallel_links=4)
+        assert any(
+            f.severity == "error" and "parallel" in f.message for f in findings
+        )
+
+    def test_fake_links_warned(self):
+        from repro.core.augmentation import augment_topology
+
+        topo = figure7_topology()
+        for link in topo.real_links():
+            topo.replace_link(link.link_id, headroom_gbps=100.0)
+        aug = augment_topology(topo)
+        findings = validate_topology(aug.topology)
+        assert any("fake" in f.message for f in findings)
+
+    def test_finding_str(self):
+        findings = validate_topology(Topology())
+        assert str(findings[0]).startswith("[error]")
+
+
+class TestAssertDeployable:
+    def test_clean_topology_passes(self):
+        assert_deployable(abilene())
+
+    def test_error_raises(self):
+        topo = Topology()
+        topo.add_duplex_link("A", "B", 100.0)
+        topo.add_duplex_link("C", "D", 100.0)
+        with pytest.raises(ValueError, match="not deployable"):
+            assert_deployable(topo)
+
+    def test_warnings_do_not_raise(self):
+        topo = figure7_topology()
+        topo.add_node("lonely")
+        assert_deployable(topo)  # warning only

@@ -1,0 +1,107 @@
+"""Tests for constellation geometry and AWGN sampling."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optics.constellation import Constellation
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestGeometry:
+    @pytest.mark.parametrize(
+        "name,order",
+        [("BPSK", 2), ("QPSK", 4), ("8QAM", 8), ("16QAM", 16), ("64QAM", 64)],
+    )
+    def test_order(self, name, order):
+        assert Constellation(name).order == order
+
+    @pytest.mark.parametrize("name", ["BPSK", "QPSK", "8QAM", "16QAM", "64QAM"])
+    def test_unit_average_energy(self, name):
+        pts = Constellation(name).points
+        assert np.mean(np.abs(pts) ** 2) == pytest.approx(1.0)
+
+    def test_points_distinct(self):
+        for name in ("QPSK", "8QAM", "16QAM"):
+            assert Constellation(name).min_distance() > 0.0
+
+    def test_denser_constellations_have_smaller_min_distance(self):
+        d = [Constellation(n).min_distance() for n in ("QPSK", "8QAM", "16QAM")]
+        assert d[0] > d[1] > d[2]
+
+    def test_bits_per_symbol(self):
+        assert Constellation("16QAM").bits_per_symbol == pytest.approx(4.0)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown constellation"):
+            Constellation("1024QAM")
+
+    def test_custom_points(self):
+        c = Constellation("custom", points=[1 + 0j, -1 + 0j])
+        assert c.order == 2
+        assert np.mean(np.abs(c.points) ** 2) == pytest.approx(1.0)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            Constellation("custom", points=[1 + 0j])
+
+    def test_hybrid_aliases(self):
+        assert Constellation("8QAM-hybrid").order == 8
+        assert Constellation("16QAM-hybrid").order == 16
+
+
+class TestSampling:
+    def test_sample_count(self, rng):
+        s = Constellation("QPSK").sample(500, 15.0, rng)
+        assert len(s) == 500
+        assert s.symbols.shape == (500,)
+
+    def test_rejects_nonpositive_count(self, rng):
+        with pytest.raises(ValueError):
+            Constellation("QPSK").sample(0, 15.0, rng)
+
+    def test_measured_snr_tracks_target(self, rng):
+        s = Constellation("QPSK").sample(50_000, 12.0, rng)
+        assert s.measured_snr_db == pytest.approx(12.0, abs=0.2)
+
+    def test_high_snr_low_ser(self, rng):
+        s = Constellation("QPSK").sample(20_000, 20.0, rng)
+        assert s.symbol_error_rate == 0.0
+
+    def test_low_snr_high_ser(self, rng):
+        s = Constellation("16QAM").sample(20_000, 5.0, rng)
+        assert s.symbol_error_rate > 0.05
+
+    def test_evm_matches_snr(self, rng):
+        # EVM(%) ~= 100 / sqrt(snr_linear)
+        s = Constellation("QPSK").sample(50_000, 20.0, rng)
+        assert s.evm_percent == pytest.approx(10.0, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        a = Constellation("8QAM").sample(100, 15.0, np.random.default_rng(7))
+        b = Constellation("8QAM").sample(100, 15.0, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.symbols, b.symbols)
+
+    @settings(max_examples=20, deadline=None)
+    @given(snr=st.floats(min_value=0.0, max_value=25.0))
+    def test_ser_monotone_in_format_density(self, snr):
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        qpsk = Constellation("QPSK").sample(4_000, snr, rng_a)
+        qam16 = Constellation("16QAM").sample(4_000, snr, rng_b)
+        assert qam16.symbol_error_rate >= qpsk.symbol_error_rate - 0.01
+
+
+class TestDecision:
+    def test_noiseless_decisions_perfect(self, rng):
+        c = Constellation("16QAM")
+        idx = rng.integers(0, c.order, size=200)
+        decided = c.decide(c.points[idx])
+        np.testing.assert_array_equal(decided, idx)

@@ -1,0 +1,104 @@
+"""Tests for the span/amplifier noise budget."""
+
+import pytest
+
+from repro.optics.fiber import Amplifier, FiberCable, FiberSpan, LineSystem
+
+
+def make_cable(n_spans=10, span_km=80.0, **kw):
+    return FiberCable("test-cable", span_km, n_spans, **kw)
+
+
+class TestFiberSpan:
+    def test_loss_is_length_times_attenuation(self):
+        assert FiberSpan(80.0).loss_db == pytest.approx(16.0)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            FiberSpan(0.0)
+
+    def test_rejects_nonpositive_attenuation(self):
+        with pytest.raises(ValueError):
+            FiberSpan(80.0, attenuation_db_per_km=0.0)
+
+    def test_nli_cubic_in_power(self):
+        span = FiberSpan(80.0)
+        assert span.nli_noise_watts(2e-3) == pytest.approx(
+            8.0 * span.nli_noise_watts(1e-3)
+        )
+
+
+class TestAmplifier:
+    def test_ase_positive(self):
+        assert Amplifier(16.0).ase_noise_watts() > 0.0
+
+    def test_zero_gain_adds_no_ase(self):
+        assert Amplifier(0.0).ase_noise_watts() == 0.0
+
+    def test_rejects_negative_gain(self):
+        with pytest.raises(ValueError):
+            Amplifier(-1.0)
+
+    def test_rejects_sub_quantum_noise_figure(self):
+        with pytest.raises(ValueError):
+            Amplifier(16.0, noise_figure_db=2.0)
+
+    def test_higher_nf_more_noise(self):
+        lo = Amplifier(16.0, noise_figure_db=4.0).ase_noise_watts()
+        hi = Amplifier(16.0, noise_figure_db=6.0).ase_noise_watts()
+        assert hi > lo
+
+
+class TestFiberCable:
+    def test_length(self):
+        assert make_cable(12, 75.0).length_km == pytest.approx(900.0)
+
+    def test_one_amp_per_span(self):
+        cable = make_cable(7)
+        assert len(cable.spans) == 7
+        assert len(cable.amplifiers) == 7
+
+    def test_amp_gain_matches_span_loss(self):
+        cable = make_cable()
+        for span, amp in zip(cable.spans, cable.amplifiers):
+            assert amp.gain_db == pytest.approx(span.loss_db)
+
+    def test_rejects_zero_spans(self):
+        with pytest.raises(ValueError):
+            make_cable(0)
+
+
+class TestLineSystem:
+    def test_snr_in_realistic_window(self):
+        # a 10x80 km system at sensible launch power: long-haul SNR range
+        snr = LineSystem(make_cable(10), launch_power_dbm=0.0).snr_db()
+        assert 8.0 < snr < 25.0
+
+    def test_longer_cable_lower_snr(self):
+        short = LineSystem(make_cable(5)).snr_db()
+        long = LineSystem(make_cable(25)).snr_db()
+        assert long < short
+
+    def test_extra_noise_figure_degrades(self):
+        ls = LineSystem(make_cable(10))
+        assert ls.snr_db(extra_noise_figure_db=3.0) < ls.snr_db()
+
+    def test_implementation_penalty_subtracts(self):
+        base = LineSystem(make_cable(10), implementation_penalty_db=0.0).snr_db()
+        pen = LineSystem(make_cable(10), implementation_penalty_db=2.0).snr_db()
+        assert pen == pytest.approx(base - 2.0)
+
+    def test_optimal_launch_power_is_interior(self):
+        # the ASE/NLI trade-off must produce an interior optimum
+        ls = LineSystem(make_cable(10))
+        p_opt = ls.optimal_launch_power_dbm()
+        assert -6.0 < p_opt < 6.0
+        snr_opt = LineSystem(make_cable(10), p_opt).snr_db()
+        assert snr_opt >= LineSystem(make_cable(10), p_opt - 2.0).snr_db()
+        assert snr_opt >= LineSystem(make_cable(10), p_opt + 2.0).snr_db()
+
+    def test_snr_supports_paper_capacities(self):
+        # a healthy medium-haul cable should clear the 175 Gbps threshold,
+        # matching Figure 2b's finding for 80% of links
+        ls = LineSystem(make_cable(8), launch_power_dbm=1.0)
+        assert ls.snr_db() >= 12.5

@@ -1,0 +1,123 @@
+"""Tests for the modulation ladder and its threshold queries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.optics.modulation import (
+    DEFAULT_MODULATIONS,
+    ModulationFormat,
+    ModulationTable,
+)
+
+
+class TestPaperAnchors:
+    """The two thresholds the paper prints must hold exactly."""
+
+    def test_100g_needs_6_5_db(self):
+        assert DEFAULT_MODULATIONS.required_snr(100.0) == pytest.approx(6.5)
+
+    def test_50g_needs_3_0_db(self):
+        assert DEFAULT_MODULATIONS.required_snr(50.0) == pytest.approx(3.0)
+
+    def test_ladder_has_paper_denominations(self):
+        assert DEFAULT_MODULATIONS.capacities_gbps == (
+            50.0,
+            100.0,
+            125.0,
+            150.0,
+            175.0,
+            200.0,
+        )
+
+
+class TestBestForSnr:
+    def test_snr_below_ladder_returns_none(self):
+        assert DEFAULT_MODULATIONS.best_for_snr(2.9) is None
+
+    def test_exactly_at_threshold_is_feasible(self):
+        assert DEFAULT_MODULATIONS.best_for_snr(6.5).capacity_gbps == 100.0
+
+    def test_just_below_threshold_falls_back(self):
+        assert DEFAULT_MODULATIONS.best_for_snr(6.499).capacity_gbps == 50.0
+
+    def test_high_snr_gives_top_rung(self):
+        assert DEFAULT_MODULATIONS.best_for_snr(30.0).capacity_gbps == 200.0
+
+    def test_feasible_capacity_zero_when_down(self):
+        assert DEFAULT_MODULATIONS.feasible_capacity(-60.0) == 0.0
+
+    @given(st.floats(min_value=-60.0, max_value=40.0))
+    def test_feasibility_is_consistent(self, snr):
+        best = DEFAULT_MODULATIONS.best_for_snr(snr)
+        if best is None:
+            assert all(not f.supports(snr) for f in DEFAULT_MODULATIONS)
+        else:
+            assert best.supports(snr)
+            faster = [
+                f
+                for f in DEFAULT_MODULATIONS
+                if f.capacity_gbps > best.capacity_gbps
+            ]
+            assert all(not f.supports(snr) for f in faster)
+
+
+class TestHeadroom:
+    def test_no_headroom_at_threshold(self):
+        assert DEFAULT_MODULATIONS.headroom_above(100.0, 6.5) == 0.0
+
+    def test_full_headroom_at_high_snr(self):
+        assert DEFAULT_MODULATIONS.headroom_above(100.0, 20.0) == 100.0
+
+    def test_headroom_never_negative_when_degraded(self):
+        # SNR below configured capacity: headroom clamps at zero
+        assert DEFAULT_MODULATIONS.headroom_above(100.0, 4.0) == 0.0
+
+    def test_partial_headroom(self):
+        assert DEFAULT_MODULATIONS.headroom_above(100.0, 12.5) == 75.0
+
+    def test_upgrade_steps_enumerates_rungs(self):
+        steps = DEFAULT_MODULATIONS.upgrade_steps(100.0, 12.5)
+        assert [f.capacity_gbps for f in steps] == [125.0, 150.0, 175.0]
+
+
+class TestTableValidation:
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            ModulationTable([])
+
+    def test_duplicate_capacity_rejected(self):
+        with pytest.raises(ValueError, match="non-increasing capacity"):
+            ModulationTable(
+                [
+                    ModulationFormat(100.0, 6.5),
+                    ModulationFormat(100.0, 8.0),
+                ]
+            )
+
+    def test_inverted_thresholds_rejected(self):
+        with pytest.raises(ValueError, match="required SNR must increase"):
+            ModulationTable(
+                [
+                    ModulationFormat(100.0, 6.5),
+                    ModulationFormat(200.0, 5.0),
+                ]
+            )
+
+    def test_unknown_capacity_raises_keyerror(self):
+        with pytest.raises(KeyError, match="137"):
+            DEFAULT_MODULATIONS.required_snr(137.0)
+
+    def test_custom_ladder_works(self):
+        table = ModulationTable(
+            [ModulationFormat(40.0, 2.0), ModulationFormat(80.0, 5.0)]
+        )
+        assert table.feasible_capacity(3.0) == 40.0
+        assert table.max_capacity_gbps == 80.0
+
+    def test_len_and_iter(self):
+        assert len(DEFAULT_MODULATIONS) == 6
+        assert [f.name for f in DEFAULT_MODULATIONS][0] == "BPSK"
+
+    def test_repr_mentions_rungs(self):
+        assert "100G@6.5dB" in repr(DEFAULT_MODULATIONS)

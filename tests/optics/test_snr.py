@@ -1,0 +1,58 @@
+"""Tests for SNR budgets and feasibility lookups."""
+
+import pytest
+
+from repro.optics.snr import SnrBudget, feasible_capacity_gbps, required_snr_db
+
+
+class TestModuleFunctions:
+    def test_required_snr_anchor(self):
+        assert required_snr_db(100.0) == pytest.approx(6.5)
+
+    def test_feasible_capacity(self):
+        assert feasible_capacity_gbps(13.0) == 175.0
+
+    def test_feasible_capacity_below_ladder(self):
+        assert feasible_capacity_gbps(1.0) == 0.0
+
+
+class TestSnrBudget:
+    def test_margin(self):
+        b = SnrBudget(snr_db=12.0, configured_capacity_gbps=100.0)
+        assert b.margin_db == pytest.approx(5.5)
+        assert not b.is_failed
+
+    def test_failure_below_threshold(self):
+        b = SnrBudget(snr_db=6.0, configured_capacity_gbps=100.0)
+        assert b.is_failed
+        assert b.margin_db == pytest.approx(-0.5)
+
+    def test_headroom(self):
+        b = SnrBudget(snr_db=13.0, configured_capacity_gbps=100.0)
+        assert b.headroom_gbps == 75.0
+
+    def test_headroom_top_of_ladder(self):
+        b = SnrBudget(snr_db=15.0, configured_capacity_gbps=100.0)
+        assert b.headroom_gbps == 100.0
+
+    def test_rescuable_failure(self):
+        # the Section 2.2 case: below 6.5 dB but above 3.0 dB
+        b = SnrBudget(snr_db=4.0, configured_capacity_gbps=100.0)
+        assert b.is_failed
+        assert b.rescuable
+        assert b.feasible_capacity_gbps == 50.0
+
+    def test_unrescuable_loss_of_light(self):
+        b = SnrBudget(snr_db=-60.0, configured_capacity_gbps=100.0)
+        assert b.is_failed
+        assert not b.rescuable
+        assert b.feasible_capacity_gbps == 0.0
+
+    def test_healthy_link_not_rescuable(self):
+        b = SnrBudget(snr_db=10.0, configured_capacity_gbps=100.0)
+        assert not b.rescuable
+
+    def test_exactly_at_threshold_is_up(self):
+        b = SnrBudget(snr_db=6.5, configured_capacity_gbps=100.0)
+        assert not b.is_failed
+        assert b.margin_db == pytest.approx(0.0)

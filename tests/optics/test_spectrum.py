@@ -1,0 +1,119 @@
+"""Tests for the DWDM channel grid and spectrum assignment."""
+
+import pytest
+
+from repro.optics.spectrum import Channel, ChannelPlan, SpectrumAssignment
+
+
+class TestChannel:
+    def test_wavelength_around_1550nm(self):
+        ch = Channel(0, 193.1)
+        assert ch.wavelength_nm == pytest.approx(1552.5, abs=0.5)
+
+    def test_repr(self):
+        assert "193.10 THz" in repr(Channel(0, 193.1))
+
+
+class TestChannelPlan:
+    def test_default_c_band(self):
+        plan = ChannelPlan()
+        assert len(plan) == 96
+        assert plan.spacing_ghz == 50.0
+        assert plan.bandwidth_ghz == pytest.approx(4800.0)
+
+    def test_climbs_from_band_edge(self):
+        plan = ChannelPlan(n_channels=3, spacing_ghz=100.0)
+        freqs = [c.frequency_thz for c in plan]
+        assert freqs == pytest.approx([191.35, 191.45, 191.55])
+
+    def test_default_spans_c_band(self):
+        plan = ChannelPlan()
+        assert plan.channel(95).frequency_thz == pytest.approx(196.10)
+
+    def test_custom_start(self):
+        plan = ChannelPlan(n_channels=2, start_thz=193.1)
+        assert plan.channel(0).frequency_thz == pytest.approx(193.1)
+
+    def test_uniform_spacing(self):
+        plan = ChannelPlan()
+        freqs = [c.frequency_thz for c in plan]
+        diffs = {round(b - a, 6) for a, b in zip(freqs, freqs[1:])}
+        assert diffs == {0.05}
+
+    def test_channel_lookup(self):
+        plan = ChannelPlan()
+        assert plan.channel(0).index == 0
+        with pytest.raises(IndexError):
+            plan.channel(96)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelPlan(n_channels=0)
+        with pytest.raises(ValueError):
+            ChannelPlan(spacing_ghz=0.0)
+
+    def test_wavelengths_span_c_band(self):
+        plan = ChannelPlan()
+        wavelengths = [c.wavelength_nm for c in plan]
+        assert min(wavelengths) > 1528.0
+        assert max(wavelengths) < 1570.0
+
+
+class TestSpectrumAssignment:
+    def test_first_fit_takes_lowest(self):
+        spec = SpectrumAssignment()
+        assert spec.assign_first_fit("link-a").index == 0
+        assert spec.assign_first_fit("link-b").index == 1
+
+    def test_release_and_reuse(self):
+        spec = SpectrumAssignment()
+        spec.assign_first_fit("a")
+        spec.assign_first_fit("b")
+        released = spec.release("a")
+        assert released.index == 0
+        assert spec.assign_first_fit("c").index == 0  # hole refilled
+
+    def test_double_assignment_rejected(self):
+        spec = SpectrumAssignment()
+        spec.assign_first_fit("a")
+        with pytest.raises(ValueError, match="already holds"):
+            spec.assign_first_fit("a")
+
+    def test_full_fiber_rejected(self):
+        spec = SpectrumAssignment(plan=ChannelPlan(n_channels=2))
+        spec.assign_first_fit("a")
+        spec.assign_first_fit("b")
+        with pytest.raises(ValueError, match="full"):
+            spec.assign_first_fit("c")
+
+    def test_queries(self):
+        spec = SpectrumAssignment()
+        spec.assign_first_fit("a")
+        assert spec.channel_of("a").index == 0
+        assert spec.owner_of(0) == "a"
+        assert spec.owner_of(1) is None
+        assert spec.n_assigned == 1
+        assert spec.n_free == 95
+        assert spec.utilization == pytest.approx(1 / 96)
+        assert spec.owners() == ("a",)
+
+    def test_unknown_owner(self):
+        spec = SpectrumAssignment()
+        with pytest.raises(KeyError):
+            spec.channel_of("ghost")
+        with pytest.raises(KeyError):
+            spec.release("ghost")
+
+    def test_plant_integration(self):
+        from repro.net.plant import FiberPlant
+        from repro.net.topologies import abilene, site_coordinates
+
+        topo = abilene()
+        plant = FiberPlant(topo, site_coordinates(topo), seed=1)
+        assignments = plant.spectrum_assignments()
+        assert set(assignments) == set(plant.segments)
+        for name, assignment in assignments.items():
+            segment = plant.segments[name]
+            assert assignment.n_assigned == len(segment.link_ids)
+            for link_id in segment.link_ids:
+                assignment.channel_of(link_id)  # must not raise

@@ -1,0 +1,70 @@
+"""Tests for the savings estimator."""
+
+import pytest
+
+from repro.sim.availability import availability_report
+from repro.sim.economics import CostModel, estimate_savings
+from repro.telemetry.dataset import BackboneConfig, BackboneDataset
+from repro.telemetry.stats import summarize_trace
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    ds = BackboneDataset(BackboneConfig(n_cables=4, years=0.5, seed=11))
+    traces = list(ds.iter_traces())
+    summaries = [summarize_trace(t) for t in traces]
+    availability = availability_report(traces)
+    return summaries, availability
+
+
+class TestCostModel:
+    def test_defaults_valid(self):
+        CostModel()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostModel(outage_usd_per_hour=-1.0)
+
+
+class TestEstimate:
+    def test_components_positive_on_real_corpus(self, corpus):
+        summaries, availability = corpus
+        estimate = estimate_savings(
+            summaries, availability, observed_years=0.5
+        )
+        assert estimate.headroom_gbps > 0
+        assert estimate.capex_deferral_usd > 0
+        assert estimate.annual_lease_deferral_usd > 0
+        assert estimate.first_year_usd == pytest.approx(
+            estimate.capex_deferral_usd
+            + estimate.annual_lease_deferral_usd
+            + estimate.annual_outage_avoided_usd
+        )
+
+    def test_capex_arithmetic(self, corpus):
+        summaries, availability = corpus
+        model = CostModel(
+            transponder_usd_per_100g_end=10_000.0,
+            spectrum_lease_usd_per_100g_month_1000km=0.0,
+            outage_usd_per_hour=0.0,
+        )
+        estimate = estimate_savings(
+            summaries, availability, observed_years=0.5, cost_model=model
+        )
+        expected = estimate.headroom_gbps / 100.0 * 2.0 * 10_000.0
+        assert estimate.capex_deferral_usd == pytest.approx(expected)
+        assert estimate.annual_lease_deferral_usd == 0.0
+        assert estimate.annual_outage_avoided_usd == 0.0
+
+    def test_outage_savings_annualised(self, corpus):
+        summaries, availability = corpus
+        half = estimate_savings(summaries, availability, observed_years=0.5)
+        full = estimate_savings(summaries, availability, observed_years=1.0)
+        assert half.annual_outage_avoided_usd == pytest.approx(
+            2.0 * full.annual_outage_avoided_usd
+        )
+
+    def test_rejects_bad_years(self, corpus):
+        summaries, availability = corpus
+        with pytest.raises(ValueError):
+            estimate_savings(summaries, availability, observed_years=0.0)

@@ -1,0 +1,95 @@
+"""Tests for the reaction-time simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import DynamicCapacityController
+from repro.core.policies import run_policy
+from repro.net.demands import gravity_demands
+from repro.net.topologies import line_topology
+from repro.optics.impairments import AmplifierDegradation
+from repro.sim.reactive import reactive_replay
+from repro.telemetry.timebase import Timebase
+from repro.telemetry.traces import NoiseModel, synthesize_cable_traces
+
+
+def build_scenario(days=4.0, events=(), seed=1, baseline=15.0):
+    topo = line_topology(3)
+    tb = Timebase.from_duration(days=days)
+    link_ids = [l.link_id for l in topo.real_links()]
+    traces = synthesize_cable_traces(
+        "reactive-cable",
+        np.full(len(link_ids), baseline),
+        tb,
+        list(events),
+        {},
+        NoiseModel(sigma_db=0.08, wander_amplitude_db=0.0),
+        np.random.default_rng(seed),
+    )
+    demands = gravity_demands(topo, 400.0, np.random.default_rng(2))
+    return topo, dict(zip(link_ids, traces)), demands
+
+
+def run(mode, events=(), **kw):
+    topo, traces, demands = build_scenario(events=events)
+    controller = DynamicCapacityController(topo, policy=run_policy(), seed=0)
+    return reactive_replay(controller, traces, demands, mode=mode, **kw)
+
+
+#: a dip from 15 dB to ~5 dB for six hours, starting 45 minutes after a
+#: scheduled round so the scheduled mode is blind to it for over 3 hours
+DIP = AmplifierDegradation(2.0 * 86_400.0 + 2_700.0, 6 * 3600.0, 10.0)
+
+
+class TestModes:
+    def test_validation(self):
+        topo, traces, demands = build_scenario()
+        controller = DynamicCapacityController(topo, seed=0)
+        with pytest.raises(ValueError, match="unknown mode"):
+            reactive_replay(controller, traces, demands, mode="psychic")
+        with pytest.raises(ValueError, match="at least one trace"):
+            reactive_replay(controller, {}, demands)
+        with pytest.raises(ValueError, match="finer"):
+            reactive_replay(controller, traces, demands, te_interval_s=60.0)
+
+    def test_quiet_horizon_no_emergencies_no_loss(self):
+        for mode in ("scheduled", "reactive", "proactive"):
+            result = run(mode)
+            assert result.n_emergency_rounds == 0
+            assert result.lost_gbps_hours == pytest.approx(0.0)
+
+    def test_scheduled_round_count(self):
+        result = run("scheduled")
+        # 4 days at 4-hour rounds
+        assert result.n_scheduled_rounds == 24
+        assert result.total_rounds == 24
+
+    def test_reactive_fires_emergency_on_dip(self):
+        result = run("reactive", events=[DIP])
+        assert result.n_emergency_rounds >= 1
+
+    def test_reaction_reduces_lost_traffic(self):
+        slow = run("scheduled", events=[DIP])
+        fast = run("reactive", events=[DIP])
+        assert slow.lost_gbps_hours > 0
+        assert fast.lost_gbps_hours < slow.lost_gbps_hours
+
+    def test_reactive_loss_bounded_by_one_sample(self):
+        # reactive mode reacts at the sample after the crossing: at most
+        # ~one 15-minute interval of loss per event edge per link
+        result = run("reactive", events=[DIP])
+        assert result.lost_gbps_hours <= 400.0 * 0.25 * 4  # generous bound
+
+    def test_proactive_no_worse_than_reactive(self):
+        reactive = run("reactive", events=[DIP])
+        proactive = run("proactive", events=[DIP])
+        assert proactive.lost_gbps_hours <= reactive.lost_gbps_hours + 1e-6
+
+    def test_proactive_does_not_spam_rounds(self):
+        result = run("proactive", events=[DIP])
+        # one dip: a handful of rounds, not one per sample
+        assert result.n_emergency_rounds < 12
+
+    def test_throughput_tracked(self):
+        result = run("reactive", events=[DIP])
+        assert result.mean_throughput_gbps > 0

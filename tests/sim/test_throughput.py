@@ -1,0 +1,81 @@
+"""Tests for the static-vs-dynamic throughput sweep."""
+
+import numpy as np
+import pytest
+
+from repro.net.demands import gravity_demands
+from repro.net.topologies import abilene, figure7_topology
+from repro.sim.throughput import simulate_throughput_gains
+
+
+@pytest.fixture(scope="module")
+def setup():
+    topo = abilene()
+    demands = gravity_demands(topo, 2000.0, np.random.default_rng(4))
+    snrs = {l.link_id: 16.0 for l in topo.real_links()}  # all 200G-capable
+    return topo, demands, snrs
+
+
+class TestSweep:
+    def test_dynamic_never_below_static(self, setup):
+        topo, demands, snrs = setup
+        points = simulate_throughput_gains(topo, demands, snrs)
+        for p in points:
+            assert p.dynamic_gbps >= p.static_gbps - 1e-3
+
+    def test_light_load_no_gain(self, setup):
+        topo, demands, snrs = setup
+        points = simulate_throughput_gains(
+            topo, demands, snrs, demand_scales=[0.2]
+        )
+        # the static network already carries everything offered
+        assert points[0].static_gbps == pytest.approx(points[0].offered_gbps, rel=1e-4)
+        assert points[0].gain_gbps == pytest.approx(0.0, abs=1.0)
+
+    def test_heavy_load_gain_approaches_capacity_ratio(self, setup):
+        topo, demands, snrs = setup
+        points = simulate_throughput_gains(
+            topo, demands, snrs, demand_scales=[50.0]
+        )
+        # all links double (16 dB -> 200G): the saturated gain is ~2x
+        # (per-demand caps stop binding only deep into saturation)
+        assert points[0].gain_ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_gain_monotone_in_scale(self, setup):
+        topo, demands, snrs = setup
+        points = simulate_throughput_gains(
+            topo, demands, snrs, demand_scales=[0.5, 1.5, 4.0]
+        )
+        gains = [p.gain_gbps for p in points]
+        assert gains == sorted(gains)
+
+    def test_offered_volume_recorded(self, setup):
+        topo, demands, snrs = setup
+        base = sum(d.volume_gbps for d in demands)
+        points = simulate_throughput_gains(topo, demands, snrs, demand_scales=[2.0])
+        assert points[0].offered_gbps == pytest.approx(2.0 * base)
+
+    def test_no_headroom_no_gain(self, setup):
+        topo, demands, _ = setup
+        snrs = {l.link_id: 7.0 for l in topo.real_links()}  # only 100G closes
+        points = simulate_throughput_gains(topo, demands, snrs, demand_scales=[5.0])
+        assert points[0].gain_gbps == pytest.approx(0.0, abs=1.0)
+
+    def test_mixed_snrs_partial_gain(self):
+        topo = figure7_topology()
+        demands = gravity_demands(topo, 1000.0, np.random.default_rng(0))
+        snrs = {l.link_id: 16.0 for l in topo.real_links()}
+        # one duplex pair stuck at 100G
+        for link in topo.links_between("A", "B") + topo.links_between("B", "A"):
+            snrs[link.link_id] = 7.0
+        points = simulate_throughput_gains(topo, demands, snrs, demand_scales=[5.0])
+        assert 1.0 < points[0].gain_ratio < 2.0
+
+    def test_bad_args(self, setup):
+        topo, demands, snrs = setup
+        with pytest.raises(ValueError):
+            simulate_throughput_gains(topo, [], snrs)
+        with pytest.raises(ValueError):
+            simulate_throughput_gains(topo, demands, snrs, demand_scales=[])
+        with pytest.raises(ValueError):
+            simulate_throughput_gains(topo, demands, snrs, demand_scales=[-1.0])

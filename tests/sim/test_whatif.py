@@ -1,0 +1,102 @@
+"""Tests for the ticket what-if replay."""
+
+import pytest
+
+from repro.net.demands import Demand
+from repro.net.srlg import duplex_srlgs
+from repro.net.topologies import figure7_topology, line_topology
+from repro.optics.impairments import RootCause
+from repro.sim.whatif import replay_tickets
+from repro.tickets.model import Ticket
+
+
+def ticket(cable, cause=RootCause.HARDWARE, hours=4.0, i=0):
+    return Ticket(
+        ticket_id=f"TKT-{i:06d}",
+        root_cause=cause,
+        opened_s=float(i) * 1000.0,
+        duration_s=hours * 3600.0,
+        element=cable,
+    )
+
+
+class TestReplayTickets:
+    def test_hardware_ticket_mitigated_on_chain(self):
+        topo = line_topology(3)
+        demands = [Demand("n0", "n2", 100.0)]
+        srlgs = duplex_srlgs(topo)
+        report = replay_tickets(
+            topo, demands, [ticket("fiber:n0--n1")], srlgs
+        )
+        verdict = report.verdicts[0]
+        assert verdict.binary_loss_gbps == pytest.approx(100.0)
+        assert verdict.dynamic_loss_gbps == pytest.approx(50.0)
+        assert verdict.rescued_gbps == pytest.approx(50.0)
+        assert verdict.rescued_gbps_hours == pytest.approx(200.0)
+
+    def test_fiber_cut_not_mitigated(self):
+        topo = line_topology(3)
+        demands = [Demand("n0", "n2", 100.0)]
+        srlgs = duplex_srlgs(topo)
+        report = replay_tickets(
+            topo, demands, [ticket("fiber:n0--n1", RootCause.FIBER_CUT)], srlgs
+        )
+        verdict = report.verdicts[0]
+        assert verdict.binary_loss_gbps == verdict.dynamic_loss_gbps
+        assert verdict.rescued_gbps == 0.0
+        assert not verdict.fully_mitigated
+
+    def test_full_mitigation_on_light_load(self):
+        # the square reroutes a small demand entirely: dynamic loses nothing
+        topo = figure7_topology()
+        demands = [Demand("A", "D", 150.0)]
+        srlgs = duplex_srlgs(topo)
+        report = replay_tickets(topo, demands, [ticket("fiber:A--B")], srlgs)
+        verdict = report.verdicts[0]
+        assert verdict.binary_loss_gbps > 0
+        assert verdict.dynamic_loss_gbps == pytest.approx(0.0, abs=1e-3)
+        assert verdict.fully_mitigated
+        assert report.n_fully_mitigated == 1
+
+    def test_aggregates(self):
+        topo = figure7_topology()
+        demands = [Demand("A", "D", 150.0)]
+        srlgs = duplex_srlgs(topo)
+        tickets = [
+            ticket("fiber:A--B", i=0),
+            ticket("fiber:C--D", i=1),
+            ticket("fiber:A--B", RootCause.FIBER_CUT, i=2),
+        ]
+        report = replay_tickets(topo, demands, tickets, srlgs)
+        assert report.n_tickets == 3
+        assert report.total_rescued_gbps_hours >= 0.0
+
+    def test_scenario_cache_consistency(self):
+        # two tickets on the same cable must agree
+        topo = line_topology(3)
+        demands = [Demand("n0", "n2", 100.0)]
+        srlgs = duplex_srlgs(topo)
+        report = replay_tickets(
+            topo,
+            demands,
+            [ticket("fiber:n0--n1", i=0), ticket("fiber:n0--n1", i=1)],
+            srlgs,
+        )
+        a, b = report.verdicts
+        assert a.binary_loss_gbps == b.binary_loss_gbps
+        assert a.dynamic_loss_gbps == b.dynamic_loss_gbps
+
+    def test_unknown_cable_rejected(self):
+        topo = line_topology(3)
+        srlgs = duplex_srlgs(topo)
+        with pytest.raises(KeyError, match="unknown cable"):
+            replay_tickets(
+                topo, [Demand("n0", "n2", 1.0)], [ticket("ghost")], srlgs
+            )
+
+    def test_empty_corpus_rejected(self):
+        topo = line_topology(3)
+        with pytest.raises(ValueError):
+            replay_tickets(
+                topo, [Demand("n0", "n2", 1.0)], [], duplex_srlgs(topo)
+            )

@@ -1,0 +1,183 @@
+"""Tests for the SWAN, B4 and CSPF allocators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.demands import Demand, gravity_demands
+from repro.net.topologies import abilene, figure7_topology, line_topology, random_wan
+from repro.net.topology import Topology
+from repro.te.b4 import b4_allocate
+from repro.te.cspf import cspf_allocate
+from repro.te.lp import MultiCommodityLp
+from repro.te.swan import swan_allocate
+
+
+@pytest.fixture(scope="module")
+def abilene_demands():
+    topo = abilene()
+    return topo, gravity_demands(topo, 3000.0, np.random.default_rng(2))
+
+
+class TestSwan:
+    def test_valid_and_no_worse_than_classless_fairness(self, abilene_demands):
+        topo, demands = abilene_demands
+        sol = swan_allocate(topo, demands)
+        assert sol.is_valid()
+        assert sol.total_allocated_gbps > 0
+
+    def test_high_priority_served_first(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        demands = [
+            Demand("A", "B", 100.0, priority=0),
+            Demand("A", "B", 100.0, priority=2),
+        ]
+        sol = swan_allocate(topo, demands)
+        by_priority = {a.demand.priority: a for a in sol.assignments}
+        assert by_priority[0].allocated_gbps == pytest.approx(100.0)
+        assert by_priority[2].allocated_gbps == pytest.approx(0.0, abs=1e-4)
+
+    def test_same_class_shares_fairly(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        demands = [
+            Demand("A", "B", 100.0, priority=1),
+            Demand("A", "B", 100.0, priority=1),
+        ]
+        sol = swan_allocate(topo, demands)
+        allocations = sorted(a.allocated_gbps for a in sol.assignments)
+        assert allocations[0] == pytest.approx(50.0, abs=1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            swan_allocate(figure7_topology(), [])
+
+    def test_fairness_floor_and_efficiency_bound(self, abilene_demands):
+        """SWAN guarantees every demand its fair share (the concurrency
+        fraction) and never exceeds the throughput-optimal LP."""
+        topo, demands = abilene_demands
+        lp = MultiCommodityLp(topo, demands)
+        lp_total = lp.max_throughput().objective_value
+        lam = lp.max_concurrent_flow(cap_at_one=True).concurrency
+        sol = swan_allocate(topo, demands)
+        assert sol.total_allocated_gbps <= lp_total + 1e-3
+        for a in sol.assignments:
+            assert a.satisfaction >= lam - 1e-4
+
+    def test_topup_improves_on_pure_fairness(self, abilene_demands):
+        topo, demands = abilene_demands
+        fair_only = (
+            MultiCommodityLp(topo, demands)
+            .max_concurrent_flow(cap_at_one=True)
+            .solution.total_allocated_gbps
+        )
+        assert swan_allocate(topo, demands).total_allocated_gbps > fair_only + 1.0
+
+
+class TestB4:
+    def test_valid(self, abilene_demands):
+        topo, demands = abilene_demands
+        sol = b4_allocate(topo, demands)
+        assert sol.is_valid()
+
+    def test_never_beats_lp(self, abilene_demands):
+        topo, demands = abilene_demands
+        lp_total = (
+            MultiCommodityLp(topo, demands).max_throughput().objective_value
+        )
+        assert b4_allocate(topo, demands).total_allocated_gbps <= lp_total + 1e-3
+
+    def test_max_min_fairness_on_shared_bottleneck(self):
+        topo = Topology()
+        topo.add_link("A", "B", 90.0)
+        demands = [
+            Demand("A", "B", 100.0),
+            Demand("A", "B", 100.0),
+            Demand("A", "B", 100.0),
+        ]
+        sol = b4_allocate(topo, demands)
+        allocations = [a.allocated_gbps for a in sol.assignments]
+        assert all(a == pytest.approx(30.0, abs=2.0) for a in allocations)
+
+    def test_small_demand_fully_served(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        demands = [Demand("A", "B", 10.0), Demand("A", "B", 500.0)]
+        sol = b4_allocate(topo, demands)
+        by_volume = sorted(sol.assignments, key=lambda a: a.demand.volume_gbps)
+        assert by_volume[0].allocated_gbps == pytest.approx(10.0, abs=0.5)
+        assert by_volume[1].allocated_gbps == pytest.approx(90.0, abs=2.0)
+
+    def test_uses_multiple_tunnels(self):
+        topo = figure7_topology()
+        sol = b4_allocate(topo, [Demand("A", "D", 200.0)], k_paths=4)
+        assert sol.total_allocated_gbps == pytest.approx(200.0, abs=2.0)
+
+    def test_rejects_bad_args(self):
+        topo = figure7_topology()
+        with pytest.raises(ValueError):
+            b4_allocate(topo, [])
+        with pytest.raises(ValueError):
+            b4_allocate(topo, [Demand("A", "B", 1.0)], k_paths=0)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=300))
+    def test_random_instances_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        topo = random_wan(6, rng)
+        demands = gravity_demands(topo, 600.0, rng, sparsity=0.6)
+        sol = b4_allocate(topo, demands)
+        assert sol.is_valid()
+
+
+class TestCspf:
+    def test_unsplit_routing(self):
+        topo = figure7_topology()
+        sol = cspf_allocate(topo, [Demand("A", "D", 150.0)])
+        # no single path carries 150 in the 100G square: partial placement
+        assert sol.total_allocated_gbps == pytest.approx(100.0)
+
+    def test_full_placement_when_it_fits(self):
+        topo = figure7_topology()
+        sol = cspf_allocate(topo, [Demand("A", "D", 80.0)])
+        assert sol.total_allocated_gbps == pytest.approx(80.0)
+        assert sol.is_valid()
+
+    def test_priority_order(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        demands = [
+            Demand("A", "B", 100.0, priority=2),
+            Demand("A", "B", 100.0, priority=0),
+        ]
+        sol = cspf_allocate(topo, demands)
+        by_priority = {a.demand.priority: a for a in sol.assignments}
+        assert by_priority[0].allocated_gbps == pytest.approx(100.0)
+        assert by_priority[2].allocated_gbps == pytest.approx(0.0)
+
+    def test_assignment_order_matches_input(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        demands = [Demand("A", "B", 10.0), Demand("A", "B", 20.0)]
+        sol = cspf_allocate(topo, demands)
+        assert [a.demand.volume_gbps for a in sol.assignments] == [10.0, 20.0]
+
+    def test_never_beats_lp(self, abilene_demands):
+        topo, demands = abilene_demands
+        lp_total = (
+            MultiCommodityLp(topo, demands).max_throughput().objective_value
+        )
+        assert cspf_allocate(topo, demands).total_allocated_gbps <= lp_total + 1e-3
+
+    def test_valid_on_abilene(self, abilene_demands):
+        topo, demands = abilene_demands
+        assert cspf_allocate(topo, demands).is_valid()
+
+    def test_unreachable_demand(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        topo.add_node("Z")
+        sol = cspf_allocate(topo, [Demand("A", "Z", 10.0)])
+        assert sol.total_allocated_gbps == 0.0

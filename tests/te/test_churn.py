@@ -1,0 +1,117 @@
+"""Tests for routing-churn metrics."""
+
+import numpy as np
+import pytest
+
+from repro.net.demands import Demand, gravity_demands
+from repro.net.topologies import figure7_topology
+from repro.net.topology import Topology
+from repro.te.churn import cumulative_churn, solution_churn
+from repro.te.lp import MultiCommodityLp
+from repro.te.solution import FlowAssignment, TeSolution
+
+
+@pytest.fixture
+def topo():
+    t = Topology()
+    t.add_link("A", "B", 100.0, link_id="ab")
+    t.add_link("A", "C", 100.0, link_id="ac")
+    t.add_link("C", "B", 100.0, link_id="cb")
+    return t
+
+
+def solution(topo, flows):
+    demand = Demand("A", "B", 50.0)
+    allocated = sum(v for k, v in flows.items() if k in ("ab", "ac"))
+    return TeSolution(
+        topo, [FlowAssignment(demand, allocated, flows)]
+    )
+
+
+class TestSolutionChurn:
+    def test_identical_solutions_zero_churn(self, topo):
+        a = solution(topo, {"ab": 50.0})
+        b = solution(topo, {"ab": 50.0})
+        report = solution_churn(a, b)
+        assert report.flow_churn_gbps == 0.0
+        assert report.n_demands_rerouted == 0
+        assert report.n_rule_changes == 0
+        assert report.rerouted_fraction == 0.0
+
+    def test_full_reroute(self, topo):
+        a = solution(topo, {"ab": 50.0})
+        b = solution(topo, {"ac": 50.0, "cb": 50.0})
+        report = solution_churn(a, b)
+        # 50 removed from ab, 50 added on each of ac/cb
+        assert report.flow_churn_gbps == pytest.approx(150.0)
+        assert report.n_demands_rerouted == 1
+        assert report.n_rule_changes == 3
+
+    def test_partial_shift_counts_no_rule_change(self, topo):
+        a = solution(topo, {"ab": 30.0, "ac": 20.0, "cb": 20.0})
+        b = solution(topo, {"ab": 40.0, "ac": 10.0, "cb": 10.0})
+        report = solution_churn(a, b)
+        assert report.flow_churn_gbps == pytest.approx(30.0)
+        assert report.n_rule_changes == 0  # all entries persist
+
+    def test_tolerance_ignores_jitter(self, topo):
+        a = solution(topo, {"ab": 50.0})
+        b = solution(topo, {"ab": 50.0 + 1e-6})
+        assert solution_churn(a, b).flow_churn_gbps == 0.0
+
+    def test_mismatched_demands_rejected(self, topo):
+        a = solution(topo, {"ab": 50.0})
+        other = TeSolution(
+            topo, [FlowAssignment(Demand("A", "C", 10.0), 10.0, {"ac": 10.0})]
+        )
+        with pytest.raises(ValueError, match="demand mismatch"):
+            solution_churn(a, other)
+
+    def test_different_counts_rejected(self, topo):
+        a = solution(topo, {"ab": 50.0})
+        b = TeSolution(topo, [])
+        with pytest.raises(ValueError, match="different demand sets"):
+            solution_churn(a, b)
+
+
+class TestCumulativeChurn:
+    def test_sums_pairwise(self, topo):
+        s1 = solution(topo, {"ab": 50.0})
+        s2 = solution(topo, {"ac": 50.0, "cb": 50.0})
+        s3 = solution(topo, {"ab": 50.0})
+        total = cumulative_churn([s1, s2, s3])
+        assert total.flow_churn_gbps == pytest.approx(300.0)
+        assert total.n_demands_rerouted == 2
+
+    def test_needs_two_rounds(self, topo):
+        with pytest.raises(ValueError):
+            cumulative_churn([solution(topo, {"ab": 50.0})])
+
+
+class TestOnRealSolutions:
+    def test_penalty_reduces_churn_against_fresh_solve(self):
+        """The paper's penalty knob: pricing current traffic keeps the
+        next round's solution closer to the present one."""
+        topo = figure7_topology()
+        demands = gravity_demands(topo, 600.0, np.random.default_rng(3))
+        lp = MultiCommodityLp(topo, demands)
+        base = lp.max_throughput().solution
+
+        # next round: solve again (degenerate optima may flip paths)
+        fresh = lp.max_throughput().solution
+        churn = solution_churn(base, fresh)
+        # deterministic solver, identical input: zero churn
+        assert churn.flow_churn_gbps == pytest.approx(0.0, abs=1e-3)
+
+    def test_topology_change_causes_churn(self):
+        topo = figure7_topology()
+        demands = gravity_demands(topo, 600.0, np.random.default_rng(3))
+        before = MultiCommodityLp(topo, demands).max_throughput().solution
+        smaller = topo.copy()
+        victim = smaller.links_between("A", "B")[0].link_id
+        smaller.replace_link(victim, capacity_gbps=10.0)
+        after_raw = MultiCommodityLp(smaller, demands).max_throughput().solution
+        after = TeSolution(topo, after_raw.assignments)
+        churn = solution_churn(before, after)
+        assert churn.flow_churn_gbps > 0
+        assert churn.n_demands_rerouted > 0

@@ -1,0 +1,81 @@
+"""Tests for flow decomposition (edge flows -> tunnels)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.demands import Demand, gravity_demands
+from repro.net.topologies import abilene, figure7_topology, random_wan
+from repro.net.topology import Topology
+from repro.te.decompose import decompose_assignment, decompose_solution
+from repro.te.lp import MultiCommodityLp
+from repro.te.solution import FlowAssignment
+
+
+class TestSimpleCases:
+    def test_single_path(self):
+        topo = Topology()
+        a = topo.add_link("A", "B", 100.0, link_id="ab")
+        b = topo.add_link("B", "C", 100.0, link_id="bc")
+        assignment = FlowAssignment(
+            Demand("A", "C", 40.0), 40.0, {"ab": 40.0, "bc": 40.0}
+        )
+        dec = decompose_assignment(topo, assignment)
+        assert len(dec.paths) == 1
+        assert dec.paths[0].rate_gbps == pytest.approx(40.0)
+        assert dec.paths[0].path.nodes == ("A", "B", "C")
+        assert dec.cycle_flow_gbps == pytest.approx(0.0)
+
+    def test_two_parallel_paths(self):
+        topo = figure7_topology()
+        lp = MultiCommodityLp(topo, [Demand("A", "D", 200.0)])
+        solution = lp.max_throughput().solution
+        dec = decompose_assignment(topo, solution.assignments[0])
+        assert dec.total_rate_gbps == pytest.approx(200.0, abs=0.1)
+        assert len(dec.paths) == 2  # A-B-D and A-C-D
+
+    def test_zero_flow(self):
+        topo = figure7_topology()
+        assignment = FlowAssignment(Demand("A", "D", 10.0), 0.0, {})
+        dec = decompose_assignment(topo, assignment)
+        assert dec.paths == ()
+        assert dec.total_rate_gbps == 0.0
+
+    def test_paths_are_simple_and_connected(self):
+        topo = abilene()
+        demands = gravity_demands(topo, 2000.0, np.random.default_rng(0))
+        solution = MultiCommodityLp(topo, demands).max_throughput().solution
+        for dec in decompose_solution(solution).values():
+            for pf in dec.paths:
+                nodes = pf.path.nodes
+                assert len(set(nodes)) == len(nodes)
+
+
+class TestConservationProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=400))
+    def test_tunnel_rates_sum_to_allocation(self, seed):
+        """Decomposition must account for (almost) all allocated flow."""
+        rng = np.random.default_rng(seed)
+        topo = random_wan(6, rng)
+        demands = gravity_demands(topo, 700.0, rng, sparsity=0.6)
+        solution = MultiCommodityLp(topo, demands).max_throughput().solution
+        for i, dec in decompose_solution(solution).items():
+            allocated = solution.assignments[i].allocated_gbps
+            assert dec.total_rate_gbps == pytest.approx(allocated, abs=0.02)
+            # LP cycle suppression: no stranded circulation
+            assert dec.cycle_flow_gbps < 0.5
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=400))
+    def test_tunnels_start_and_end_correctly(self, seed):
+        rng = np.random.default_rng(seed)
+        topo = random_wan(5, rng)
+        demands = gravity_demands(topo, 400.0, rng, sparsity=0.5)
+        solution = MultiCommodityLp(topo, demands).max_throughput().solution
+        for i, dec in decompose_solution(solution).items():
+            demand = solution.assignments[i].demand
+            for pf in dec.paths:
+                assert pf.path.src == demand.src
+                assert pf.path.dst == demand.dst

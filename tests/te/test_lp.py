@@ -1,0 +1,168 @@
+"""Tests for the multicommodity LP core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.demands import Demand, gravity_demands
+from repro.net.topologies import abilene, figure7_topology, line_topology, random_wan
+from repro.net.topology import Topology
+from repro.te.lp import MultiCommodityLp
+
+
+class TestMaxThroughput:
+    def test_single_link(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        out = MultiCommodityLp(topo, [Demand("A", "B", 250.0)]).max_throughput()
+        assert out.objective_value == pytest.approx(100.0)
+        assert out.solution.is_valid()
+
+    def test_demand_cap_respected(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        out = MultiCommodityLp(topo, [Demand("A", "B", 30.0)]).max_throughput()
+        assert out.objective_value == pytest.approx(30.0)
+
+    def test_splits_across_parallel_paths(self):
+        topo = figure7_topology()  # square
+        out = MultiCommodityLp(topo, [Demand("A", "D", 500.0)]).max_throughput()
+        # A->D via A-B-D and A-C-D: 200 total
+        assert out.objective_value == pytest.approx(200.0)
+
+    def test_competing_demands_share_cut(self):
+        topo = figure7_topology()
+        demands = [Demand("A", "B", 200.0), Demand("C", "D", 200.0)]
+        out = MultiCommodityLp(topo, demands).max_throughput()
+        # cut {A,C}|{B,D} has 200 Gbps
+        assert out.objective_value == pytest.approx(200.0)
+
+    def test_unreachable_demand_gets_zero(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        topo.add_node("Z")
+        out = MultiCommodityLp(
+            topo, [Demand("A", "B", 50.0), Demand("A", "Z", 50.0)]
+        ).max_throughput()
+        allocs = [a.allocated_gbps for a in out.solution.assignments]
+        assert allocs[0] == pytest.approx(50.0)
+        assert allocs[1] == pytest.approx(0.0)
+
+    def test_rejects_empty_demands(self):
+        with pytest.raises(ValueError):
+            MultiCommodityLp(figure7_topology(), [])
+
+    def test_rejects_unknown_endpoint(self):
+        with pytest.raises(KeyError):
+            MultiCommodityLp(figure7_topology(), [Demand("A", "Q", 1.0)])
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_solutions_always_audit_clean(self, seed):
+        rng = np.random.default_rng(seed)
+        topo = random_wan(6, rng)
+        demands = gravity_demands(topo, 800.0, rng, sparsity=0.5)
+        out = MultiCommodityLp(topo, demands).max_throughput()
+        assert out.solution.is_valid()
+
+
+class TestMinPenaltyAtMaxThroughput:
+    def test_throughput_preserved(self):
+        topo = figure7_topology()
+        demands = [Demand("A", "D", 300.0)]
+        lp = MultiCommodityLp(topo, demands)
+        plain = lp.max_throughput()
+        two_phase = lp.min_penalty_at_max_throughput()
+        assert two_phase.solution.total_allocated_gbps == pytest.approx(
+            plain.objective_value, rel=1e-4
+        )
+
+    def test_penalised_parallel_link_avoided(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, link_id="free")
+        topo.add_link("A", "B", 100.0, link_id="paid", penalty=10.0)
+        lp = MultiCommodityLp(topo, [Demand("A", "B", 80.0)])
+        out = lp.min_penalty_at_max_throughput()
+        assert out.solution.link_flow("paid") == pytest.approx(0.0, abs=1e-4)
+        assert out.solution.link_flow("free") == pytest.approx(80.0, abs=1e-4)
+
+    def test_penalised_link_used_when_needed(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, link_id="free")
+        topo.add_link("A", "B", 100.0, link_id="paid", penalty=10.0)
+        lp = MultiCommodityLp(topo, [Demand("A", "B", 150.0)])
+        out = lp.min_penalty_at_max_throughput()
+        assert out.solution.total_allocated_gbps == pytest.approx(150.0)
+        assert out.solution.link_flow("paid") == pytest.approx(50.0, abs=1e-3)
+        assert out.objective_value == pytest.approx(500.0, rel=1e-3)
+
+
+class TestMaxConcurrentFlow:
+    def test_fair_fraction(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        demands = [Demand("A", "B", 100.0), Demand("A", "B", 100.0)]
+        out = MultiCommodityLp(topo, demands).max_concurrent_flow()
+        assert out.concurrency == pytest.approx(0.5)
+        for a in out.solution.assignments:
+            assert a.allocated_gbps == pytest.approx(50.0)
+
+    def test_caps_at_one(self):
+        topo = Topology()
+        topo.add_link("A", "B", 1000.0)
+        out = MultiCommodityLp(
+            topo, [Demand("A", "B", 10.0)]
+        ).max_concurrent_flow(cap_at_one=True)
+        assert out.concurrency == pytest.approx(1.0)
+
+    def test_uncapped_exceeds_one(self):
+        topo = Topology()
+        topo.add_link("A", "B", 1000.0)
+        out = MultiCommodityLp(
+            topo, [Demand("A", "B", 10.0)]
+        ).max_concurrent_flow(cap_at_one=False)
+        assert out.concurrency > 1.0
+
+    def test_zero_when_unreachable(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        topo.add_node("Z")
+        out = MultiCommodityLp(
+            topo, [Demand("A", "Z", 10.0), Demand("A", "B", 10.0)]
+        ).max_concurrent_flow()
+        assert out.concurrency == pytest.approx(0.0)
+
+    def test_abilene_sanity(self):
+        topo = abilene()
+        demands = gravity_demands(topo, 5000.0, np.random.default_rng(0))
+        out = MultiCommodityLp(topo, demands).max_concurrent_flow()
+        assert 0.0 < out.concurrency < 1.0
+        assert out.solution.is_valid()
+
+
+class TestCrossCheck:
+    """The LP and networkx must agree on single-commodity instances."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_lp_matches_networkx_maxflow(self, seed):
+        from repro.te.maxflow import max_flow
+
+        rng = np.random.default_rng(seed)
+        topo = random_wan(6, rng)
+        src, dst = topo.nodes[0], topo.nodes[-1]
+        lp_value = (
+            MultiCommodityLp(topo, [Demand(src, dst, 1e9)])
+            .max_throughput()
+            .objective_value
+        )
+        nx_value = max_flow(topo, src, dst).value_gbps
+        assert lp_value == pytest.approx(nx_value, rel=1e-5)
+
+    def test_line_bottleneck(self):
+        topo = line_topology(4, capacity_gbps=70.0)
+        out = MultiCommodityLp(
+            topo, [Demand("n0", "n3", 1000.0)]
+        ).max_throughput()
+        assert out.objective_value == pytest.approx(70.0)

@@ -1,0 +1,82 @@
+"""Tests for single-commodity max flow / min-cost max-flow."""
+
+import pytest
+
+from repro.net.topologies import figure7_topology, line_topology
+from repro.net.topology import Topology
+from repro.te.maxflow import max_flow, min_cost_max_flow
+
+
+class TestMaxFlow:
+    def test_line(self):
+        topo = line_topology(3, capacity_gbps=80.0)
+        result = max_flow(topo, "n0", "n2")
+        assert result.value_gbps == pytest.approx(80.0)
+
+    def test_square_two_paths(self):
+        topo = figure7_topology()
+        result = max_flow(topo, "A", "D")
+        assert result.value_gbps == pytest.approx(200.0)
+
+    def test_parallel_links_add(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, link_id="x")
+        topo.add_link("A", "B", 60.0, link_id="y")
+        result = max_flow(topo, "A", "B")
+        assert result.value_gbps == pytest.approx(160.0)
+        assert result.edge_flows["x"] == pytest.approx(100.0)
+        assert result.edge_flows["y"] == pytest.approx(60.0)
+
+    def test_unreachable_is_zero(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        topo.add_node("Z")
+        assert max_flow(topo, "A", "Z").value_gbps == 0.0
+
+    def test_bad_endpoints(self):
+        topo = line_topology(3)
+        with pytest.raises(KeyError):
+            max_flow(topo, "n0", "zz")
+        with pytest.raises(ValueError):
+            max_flow(topo, "n0", "n0")
+
+    def test_as_solution_validates(self):
+        topo = figure7_topology()
+        result = max_flow(topo, "A", "D")
+        sol = result.as_solution(topo, "A", "D")
+        assert sol.is_valid()
+
+
+class TestMinCostMaxFlow:
+    def test_same_value_as_maxflow(self):
+        topo = figure7_topology()
+        assert min_cost_max_flow(topo, "A", "D").value_gbps == pytest.approx(
+            max_flow(topo, "A", "D").value_gbps
+        )
+
+    def test_prefers_free_parallel_link(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, link_id="free")
+        topo.add_link("A", "B", 100.0, link_id="paid", penalty=5.0)
+        result = min_cost_max_flow(topo, "A", "B")
+        assert result.value_gbps == pytest.approx(200.0)
+        # both used (max flow first), but cost only from the paid one
+        assert result.penalty_cost == pytest.approx(500.0)
+
+    def test_cost_zero_when_free_path_suffices(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, link_id="free")
+        topo.add_link("A", "C", 100.0, link_id="ac", penalty=9.0)
+        result = min_cost_max_flow(topo, "A", "B")
+        assert result.penalty_cost == pytest.approx(0.0)
+
+    def test_detour_cheaper_than_penalty(self):
+        # two-hop free path vs one-hop penalised link
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, link_id="direct", penalty=50.0)
+        topo.add_link("A", "M", 100.0, link_id="am")
+        topo.add_link("M", "B", 100.0, link_id="mb")
+        result = min_cost_max_flow(topo, "A", "B")
+        assert result.value_gbps == pytest.approx(200.0)
+        # detour carries its 100 for free; direct pays
+        assert result.edge_flows.get("am", 0.0) == pytest.approx(100.0)

@@ -1,0 +1,85 @@
+"""Tests for the min-max-utilisation TE objective."""
+
+import numpy as np
+import pytest
+
+from repro.net.demands import Demand, gravity_demands
+from repro.net.topologies import abilene, figure7_topology
+from repro.net.topology import Topology
+from repro.te.lp import MultiCommodityLp
+
+
+class TestMinMaxUtilization:
+    def test_balances_two_paths(self):
+        # 100 Gbps from A to D over the square: 50/50 across the two
+        # paths gives MLU 0.5; any imbalance is worse
+        topo = figure7_topology()
+        out = MultiCommodityLp(topo, [Demand("A", "D", 100.0)]).min_max_utilization()
+        assert out.objective_value == pytest.approx(0.5, abs=1e-4)
+        assert out.solution.max_utilization == pytest.approx(0.5, abs=1e-4)
+
+    def test_all_demand_served(self):
+        topo = abilene()
+        demands = gravity_demands(topo, 1500.0, np.random.default_rng(0))
+        out = MultiCommodityLp(topo, demands).min_max_utilization()
+        for a in out.solution.assignments:
+            assert a.satisfaction == pytest.approx(1.0, abs=1e-5)
+
+    def test_mlu_scales_linearly_with_demand(self):
+        topo = abilene()
+        base = gravity_demands(topo, 600.0, np.random.default_rng(0))
+        lp1 = MultiCommodityLp(topo, base).min_max_utilization()
+        from repro.net.demands import scale_demands
+
+        doubled = scale_demands(base, 2.0)
+        lp2 = MultiCommodityLp(topo, doubled).min_max_utilization()
+        assert lp2.objective_value == pytest.approx(
+            2.0 * lp1.objective_value, rel=1e-4
+        )
+
+    def test_feasible_when_demand_fits(self):
+        topo = abilene()
+        demands = gravity_demands(topo, 600.0, np.random.default_rng(0))
+        out = MultiCommodityLp(topo, demands).min_max_utilization()
+        assert out.objective_value < 1.0
+        assert out.solution.is_valid()
+
+    def test_oversubscription_reported(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        out = MultiCommodityLp(topo, [Demand("A", "B", 150.0)]).min_max_utilization()
+        assert out.objective_value == pytest.approx(1.5)
+        # the solution intentionally oversubscribes; the audit notices
+        assert not out.solution.is_valid()
+
+    def test_feasible_solution_audits_clean(self):
+        topo = figure7_topology()
+        out = MultiCommodityLp(topo, [Demand("A", "D", 150.0)]).min_max_utilization()
+        assert out.solution.is_valid()
+
+    def test_unreachable_demand_raises(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        topo.add_node("Z")
+        with pytest.raises(RuntimeError, match="LP failed"):
+            MultiCommodityLp(topo, [Demand("A", "Z", 10.0)]).min_max_utilization()
+
+    def test_augmented_topology_lowers_mlu(self):
+        """Dynamic capacity as a load-balancing tool: more parallel
+        capacity means a cooler hottest link at the same demand."""
+        from repro.core.augmentation import augment_topology
+
+        topo = figure7_topology()
+        for link in topo.real_links():
+            topo.replace_link(link.link_id, headroom_gbps=100.0)
+        demands = [Demand("A", "D", 150.0)]
+        static_mlu = (
+            MultiCommodityLp(topo, demands).min_max_utilization().objective_value
+        )
+        aug = augment_topology(topo)
+        dynamic_mlu = (
+            MultiCommodityLp(aug.topology, demands)
+            .min_max_utilization()
+            .objective_value
+        )
+        assert dynamic_mlu < static_mlu

@@ -1,0 +1,109 @@
+"""Tests for the path-based LP formulation."""
+
+import numpy as np
+import pytest
+
+from repro.net.demands import Demand, gravity_demands
+from repro.net.topologies import abilene, figure7_topology, line_topology
+from repro.net.topology import Topology
+from repro.te.lp import MultiCommodityLp
+from repro.te.pathlp import PathBasedLp
+
+
+class TestMaxThroughput:
+    def test_single_link(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        out = PathBasedLp(topo, [Demand("A", "B", 250.0)]).max_throughput()
+        assert out.objective_value == pytest.approx(100.0)
+        assert out.solution.is_valid()
+
+    def test_matches_edge_lp_with_enough_paths(self):
+        topo = figure7_topology()
+        demands = [Demand("A", "D", 500.0)]
+        edge = MultiCommodityLp(topo, demands).max_throughput().objective_value
+        path = PathBasedLp(topo, demands, k_paths=4).max_throughput().objective_value
+        assert path == pytest.approx(edge, rel=1e-4)
+
+    def test_fewer_paths_never_better(self):
+        topo = abilene()
+        demands = gravity_demands(topo, 3000.0, np.random.default_rng(2))
+        k1 = PathBasedLp(topo, demands, k_paths=1).max_throughput().objective_value
+        k4 = PathBasedLp(topo, demands, k_paths=4).max_throughput().objective_value
+        edge = MultiCommodityLp(topo, demands).max_throughput().objective_value
+        assert k1 <= k4 + 1e-6
+        assert k4 <= edge + 1e-6
+
+    def test_unreachable_demand(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0)
+        topo.add_node("Z")
+        out = PathBasedLp(
+            topo, [Demand("A", "Z", 50.0), Demand("A", "B", 50.0)]
+        ).max_throughput()
+        allocs = {a.demand.dst: a.allocated_gbps for a in out.solution.assignments}
+        assert allocs["Z"] == 0.0
+        assert allocs["B"] == pytest.approx(50.0)
+
+    def test_solution_audits_clean(self):
+        topo = abilene()
+        demands = gravity_demands(topo, 3000.0, np.random.default_rng(5))
+        out = PathBasedLp(topo, demands).max_throughput()
+        assert out.solution.is_valid()
+
+    def test_rejects_bad_args(self):
+        topo = line_topology(3)
+        with pytest.raises(ValueError):
+            PathBasedLp(topo, [])
+        with pytest.raises(ValueError):
+            PathBasedLp(topo, [Demand("n0", "n2", 1.0)], k_paths=0)
+
+
+class TestMinPenalty:
+    def test_avoids_penalised_parallel_link(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, link_id="free")
+        topo.add_link("A", "B", 100.0, link_id="paid", penalty=10.0)
+        out = PathBasedLp(topo, [Demand("A", "B", 80.0)], k_paths=3)
+        solved = out.min_penalty_at_max_throughput()
+        assert solved.solution.link_flow("paid") == pytest.approx(0.0, abs=1e-4)
+
+    def test_uses_penalised_link_when_needed(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, link_id="free")
+        topo.add_link("A", "B", 100.0, link_id="paid", penalty=10.0)
+        solved = PathBasedLp(
+            topo, [Demand("A", "B", 150.0)], k_paths=3
+        ).min_penalty_at_max_throughput()
+        assert solved.solution.total_allocated_gbps == pytest.approx(150.0, abs=0.1)
+        assert solved.solution.link_flow("paid") == pytest.approx(50.0, abs=0.1)
+
+    def test_works_on_augmented_topology(self):
+        """The paper's claim holds for path-based controllers too."""
+        from repro.core.augmentation import augment_topology
+        from repro.core.penalties import ConstantPenalty
+        from repro.core.translation import translate
+
+        topo = figure7_topology()
+        for src, dst in (("A", "B"), ("B", "A"), ("C", "D"), ("D", "C")):
+            link_id = topo.links_between(src, dst)[0].link_id
+            topo.replace_link(link_id, headroom_gbps=100.0)
+        aug = augment_topology(topo, penalty_policy=ConstantPenalty(100.0))
+        demands = [Demand("A", "B", 125.0), Demand("C", "D", 125.0)]
+        solved = PathBasedLp(
+            aug.topology, demands, k_paths=6
+        ).min_penalty_at_max_throughput()
+        assert solved.solution.total_allocated_gbps == pytest.approx(250.0, abs=0.5)
+        result = translate(aug, solved.solution)
+        assert len(result.upgrades) == 1  # same conclusion as the edge LP
+
+
+class TestTunnels:
+    def test_tunnels_exposed(self):
+        topo = figure7_topology()
+        out = PathBasedLp(topo, [Demand("A", "D", 100.0)], k_paths=2)
+        solved = out.max_throughput()
+        assert len(solved.tunnels) == 1
+        assert 1 <= len(solved.tunnels[0]) <= 2
+        for path in solved.tunnels[0]:
+            assert path.src == "A" and path.dst == "D"

@@ -1,0 +1,107 @@
+"""Tests for the TE solution object and its audits."""
+
+import pytest
+
+from repro.net.demands import Demand
+from repro.net.topology import Topology
+from repro.te.solution import FlowAssignment, TeSolution, empty_solution
+
+
+@pytest.fixture
+def topo():
+    t = Topology()
+    t.add_link("A", "B", 100.0, link_id="ab")
+    t.add_link("B", "C", 100.0, link_id="bc", penalty=2.0)
+    return t
+
+
+def assignment(topo, volume=60.0):
+    return FlowAssignment(
+        demand=Demand("A", "C", volume),
+        allocated_gbps=volume,
+        edge_flows={"ab": volume, "bc": volume},
+    )
+
+
+class TestMetrics:
+    def test_totals(self, topo):
+        sol = TeSolution(topo, [assignment(topo)])
+        assert sol.total_allocated_gbps == 60.0
+        assert sol.total_demand_gbps == 60.0
+        assert sol.overall_satisfaction == 1.0
+
+    def test_link_flow_and_utilization(self, topo):
+        sol = TeSolution(topo, [assignment(topo)])
+        assert sol.link_flow("ab") == 60.0
+        assert sol.utilization("ab") == pytest.approx(0.6)
+        assert sol.max_utilization == pytest.approx(0.6)
+
+    def test_flows_sum_across_assignments(self, topo):
+        sol = TeSolution(topo, [assignment(topo, 30.0), assignment(topo, 40.0)])
+        assert sol.link_flow("ab") == 70.0
+
+    def test_penalty_cost(self, topo):
+        sol = TeSolution(topo, [assignment(topo, 50.0)])
+        assert sol.penalty_cost == pytest.approx(100.0)  # 50 * 2.0 on bc
+
+    def test_fake_link_flows(self):
+        topo = Topology()
+        topo.add_link("A", "B", 100.0, link_id="real")
+        topo.add_link("A", "B", 100.0, link_id="fake", is_fake=True,
+                      shadow_of="real")
+        sol = TeSolution(
+            topo,
+            [
+                FlowAssignment(
+                    Demand("A", "B", 150.0), 150.0,
+                    {"real": 100.0, "fake": 50.0},
+                )
+            ],
+        )
+        assert sol.flow_on_fake_links() == {"fake": 50.0}
+
+    def test_partial_satisfaction(self, topo):
+        sol = TeSolution(
+            topo,
+            [FlowAssignment(Demand("A", "C", 100.0), 40.0,
+                            {"ab": 40.0, "bc": 40.0})],
+        )
+        assert sol.overall_satisfaction == pytest.approx(0.4)
+        assert sol.assignments[0].satisfaction == pytest.approx(0.4)
+
+    def test_empty_solution(self, topo):
+        sol = empty_solution(topo, [Demand("A", "C", 10.0)])
+        assert sol.total_allocated_gbps == 0.0
+        assert sol.is_valid()
+
+
+class TestAudits:
+    def test_valid_solution(self, topo):
+        assert TeSolution(topo, [assignment(topo)]).is_valid()
+
+    def test_overload_detected(self, topo):
+        sol = TeSolution(topo, [assignment(topo, 150.0)])
+        problems = sol.violations()
+        assert any("overloaded" in p for p in problems)
+
+    def test_conservation_violation_detected(self, topo):
+        broken = FlowAssignment(
+            demand=Demand("A", "C", 50.0),
+            allocated_gbps=50.0,
+            edge_flows={"ab": 50.0},  # flow vanishes at B
+        )
+        problems = TeSolution(topo, [broken]).violations()
+        assert any("imbalance" in p for p in problems)
+
+    def test_negative_flow_detected(self, topo):
+        weird = FlowAssignment(
+            demand=Demand("A", "C", 0.0),
+            allocated_gbps=0.0,
+            edge_flows={"ab": -5.0, "bc": -5.0},
+        )
+        problems = TeSolution(topo, [weird]).violations()
+        assert any("negative" in p for p in problems)
+
+    def test_rejects_negative_allocation(self):
+        with pytest.raises(ValueError):
+            FlowAssignment(Demand("A", "B", 10.0), -5.0, {})

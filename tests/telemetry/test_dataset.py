@@ -1,0 +1,119 @@
+"""Tests for the backbone dataset builder (uses small horizons)."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.dataset import (
+    BackboneConfig,
+    BackboneDataset,
+    CableSpec,
+    high_quality_cable_spec,
+)
+from repro.telemetry.traces import NoiseModel
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return BackboneDataset(BackboneConfig.small(years=0.1, n_cables=4, seed=7))
+
+
+class TestCableSpec:
+    def test_baselines_shape(self):
+        spec = CableSpec("c", n_wavelengths=4, n_spans=10)
+        assert spec.baselines_db().shape == (4,)
+
+    def test_ripple_applied(self):
+        spec = CableSpec(
+            "c", n_wavelengths=2, n_spans=10, ripple_db=(0.0, -1.5)
+        )
+        base = spec.baselines_db()
+        assert base[0] - base[1] == pytest.approx(1.5)
+
+    def test_quality_penalty_lowers_baseline(self):
+        clean = CableSpec("c", 2, 10).baselines_db()
+        worn = CableSpec("c", 2, 10, quality_penalty_db=3.0).baselines_db()
+        np.testing.assert_allclose(clean - worn, 3.0)
+
+    def test_ripple_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="one entry per wavelength"):
+            CableSpec("c", 3, 10, ripple_db=(0.0,))
+
+    def test_rejects_zero_wavelengths(self):
+        with pytest.raises(ValueError):
+            CableSpec("c", 0, 10)
+
+    def test_longer_cable_lower_baseline(self):
+        short = CableSpec("c", 1, 5).baselines_db()[0]
+        long = CableSpec("c", 1, 40).baselines_db()[0]
+        assert long < short
+
+
+class TestBackboneDataset:
+    def test_spec_count(self, small_dataset):
+        assert len(small_dataset.cable_specs()) == 4
+
+    def test_specs_deterministic(self):
+        a = BackboneDataset(BackboneConfig.small(seed=5)).cable_specs()
+        b = BackboneDataset(BackboneConfig.small(seed=5)).cable_specs()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = BackboneDataset(BackboneConfig.small(seed=5)).cable_specs()
+        b = BackboneDataset(BackboneConfig.small(seed=6)).cable_specs()
+        assert a != b
+
+    def test_n_links(self, small_dataset):
+        cfg = small_dataset.config
+        n = small_dataset.n_links()
+        assert 4 * cfg.wavelengths_low <= n <= 4 * cfg.wavelengths_high
+
+    def test_traces_deterministic(self, small_dataset):
+        spec = small_dataset.cable_specs()[0]
+        a = small_dataset.cable_traces(spec)
+        b = small_dataset.cable_traces(spec)
+        np.testing.assert_array_equal(a[0].snr_db, b[0].snr_db)
+
+    def test_iter_traces_covers_all_links(self, small_dataset):
+        ids = [t.link_id for t in small_dataset.iter_traces()]
+        assert len(ids) == small_dataset.n_links()
+        assert len(set(ids)) == len(ids)
+
+    def test_summaries_match_links(self, small_dataset):
+        summaries = small_dataset.summaries()
+        assert len(summaries) == small_dataset.n_links()
+        assert all(s.configured_capacity_gbps == 100.0 for s in summaries)
+
+    def test_baselines_respect_provisioning_floor(self, small_dataset):
+        cfg = small_dataset.config
+        for spec in small_dataset.cable_specs():
+            centre = spec.baselines_db().mean()
+            # centre baseline stays above the provisioning floor minus ripple noise
+            assert centre >= cfg.min_centre_baseline_db - 1.0
+
+    def test_default_config_is_backbone_scale(self):
+        ds = BackboneDataset()
+        assert ds.config.n_cables == 55
+        assert 1500 <= ds.n_links() <= 2700  # "over 2,000 links"
+
+    def test_timebase_matches_study(self):
+        tb = BackboneConfig().timebase()
+        assert tb.interval_s == 900.0
+        assert 87_000 < tb.n_samples < 88_000
+
+
+class TestHighQualityCable:
+    def test_all_denominations_feasible(self):
+        spec = high_quality_cable_spec()
+        base = spec.baselines_db()
+        assert (base >= 14.5).all()  # 200G threshold
+        assert len(base) == 40
+
+    def test_some_wavelengths_marginal_at_200g(self):
+        # the Figure-3a mechanism requires some links within ~1 dB of 14.5
+        spec = high_quality_cable_spec()
+        base = spec.baselines_db()
+        assert (base < 15.5).any()
+        assert (base > 16.5).any()
+
+    def test_custom_wavelength_count(self):
+        assert high_quality_cable_spec(n_wavelengths=8).n_wavelengths == 8

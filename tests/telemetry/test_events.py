@@ -1,0 +1,135 @@
+"""Tests for the impairment event processes."""
+
+import numpy as np
+import pytest
+
+from repro.optics.impairments import ImpairmentScope, RootCause
+from repro.telemetry.events import (
+    PAPER_EVENT_RATES,
+    EventRates,
+    EventSynthesizer,
+    SeverityModel,
+    SECONDS_PER_YEAR,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestSeverityModel:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            SeverityModel(1.5, 0.0, 1.0, 1.0)
+
+    def test_rejects_inverted_penalty_range(self):
+        with pytest.raises(ValueError):
+            SeverityModel(0.1, 5.0, 3.0, 1.0)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            SeverityModel(0.1, 0.0, 1.0, 0.0)
+
+    def test_always_lol_when_prob_one(self, rng):
+        model = SeverityModel(1.0, 0.0, 0.0, 1.0)
+        assert all(np.isinf(model.draw_penalty_db(rng)) for _ in range(20))
+
+    def test_never_lol_when_prob_zero(self, rng):
+        model = SeverityModel(0.0, 2.0, 4.0, 1.0)
+        draws = [model.draw_penalty_db(rng) for _ in range(50)]
+        assert all(2.0 <= d <= 4.0 for d in draws)
+
+    def test_duration_positive(self, rng):
+        model = SeverityModel(0.0, 1.0, 2.0, 3.0)
+        assert all(model.draw_duration_s(rng) > 0 for _ in range(20))
+
+    def test_duration_median_roughly_respected(self, rng):
+        model = SeverityModel(0.0, 1.0, 2.0, duration_median_h=4.0)
+        draws = np.array([model.draw_duration_s(rng) for _ in range(4000)])
+        assert np.median(draws) / 3600.0 == pytest.approx(4.0, rel=0.1)
+
+
+class TestEventRates:
+    def test_scaled(self):
+        doubled = PAPER_EVENT_RATES.scaled(2.0)
+        assert doubled.fiber_cut_per_cable_year == pytest.approx(
+            2.0 * PAPER_EVENT_RATES.fiber_cut_per_cable_year
+        )
+        # severities unchanged
+        assert doubled.maintenance == PAPER_EVENT_RATES.maintenance
+
+    def test_scaled_to_zero_silences_everything(self, rng):
+        synth = EventSynthesizer(PAPER_EVENT_RATES.scaled(0.0))
+        assert synth.cable_events(10 * SECONDS_PER_YEAR, rng) == []
+        assert synth.wavelength_events(10 * SECONDS_PER_YEAR, rng) == []
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PAPER_EVENT_RATES.scaled(-1.0)
+
+
+class TestEventSynthesis:
+    def test_events_sorted_and_inside_horizon(self, rng):
+        synth = EventSynthesizer()
+        duration = 2.5 * SECONDS_PER_YEAR
+        events = synth.cable_events(duration, rng)
+        starts = [e.start_s for e in events]
+        assert starts == sorted(starts)
+        assert all(0.0 <= s <= duration for s in starts)
+
+    def test_cable_events_are_cable_scope(self, rng):
+        events = EventSynthesizer().cable_events(5 * SECONDS_PER_YEAR, rng)
+        assert events, "expected some events over 5 years"
+        assert all(e.scope is ImpairmentScope.CABLE for e in events)
+
+    def test_wavelength_events_are_wavelength_scope(self, rng):
+        synth = EventSynthesizer(PAPER_EVENT_RATES.scaled(30.0))
+        events = synth.wavelength_events(5 * SECONDS_PER_YEAR, rng)
+        assert events
+        assert all(e.scope is ImpairmentScope.WAVELENGTH for e in events)
+
+    def test_poisson_count_matches_rate(self):
+        rates = EventRates(
+            maintenance_per_cable_year=3.0,
+            fiber_cut_per_cable_year=0.0,
+            hardware_per_cable_year=0.0,
+        )
+        rng = np.random.default_rng(0)
+        synth = EventSynthesizer(rates)
+        counts = [
+            len(synth.cable_events(SECONDS_PER_YEAR, rng)) for _ in range(300)
+        ]
+        assert np.mean(counts) == pytest.approx(3.0, rel=0.12)
+
+    def test_root_cause_mix_present(self, rng):
+        synth = EventSynthesizer(PAPER_EVENT_RATES.scaled(10.0))
+        events = synth.cable_events(5 * SECONDS_PER_YEAR, rng)
+        causes = {e.root_cause for e in events}
+        assert RootCause.MAINTENANCE in causes
+        assert RootCause.FIBER_CUT in causes
+        assert RootCause.HARDWARE in causes
+
+    def test_fiber_cuts_always_loss_of_light(self, rng):
+        synth = EventSynthesizer(PAPER_EVENT_RATES.scaled(10.0))
+        events = synth.cable_events(5 * SECONDS_PER_YEAR, rng)
+        cuts = [e for e in events if e.root_cause is RootCause.FIBER_CUT]
+        assert cuts
+        assert all(e.is_loss_of_light for e in cuts)
+
+    def test_some_wavelength_events_undocumented(self):
+        rng = np.random.default_rng(5)
+        synth = EventSynthesizer(PAPER_EVENT_RATES.scaled(50.0))
+        events = synth.wavelength_events(5 * SECONDS_PER_YEAR, rng)
+        causes = [e.root_cause for e in events]
+        assert RootCause.UNDOCUMENTED in causes
+        assert RootCause.HARDWARE in causes
+
+    def test_deterministic_given_seed(self):
+        a = EventSynthesizer().cable_events(
+            SECONDS_PER_YEAR, np.random.default_rng(99)
+        )
+        b = EventSynthesizer().cable_events(
+            SECONDS_PER_YEAR, np.random.default_rng(99)
+        )
+        assert a == b

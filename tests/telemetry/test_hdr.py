@@ -1,0 +1,124 @@
+"""Tests for the highest-density-region estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.telemetry.hdr import highest_density_region
+
+
+class TestBasics:
+    def test_full_mass_is_min_max(self):
+        data = np.array([3.0, 1.0, 2.0, 5.0])
+        hdr = highest_density_region(data, mass=1.0)
+        assert hdr.low == 1.0
+        assert hdr.high == 5.0
+
+    def test_constant_sample_zero_width(self):
+        hdr = highest_density_region(np.full(100, 7.0), mass=0.95)
+        assert hdr.width == 0.0
+        assert hdr.low == hdr.high == 7.0
+
+    def test_outliers_excluded(self):
+        # 97 tight samples + 3 far outliers: the 95% HDR drops the outliers
+        data = np.concatenate([np.full(97, 10.0), [0.0, -5.0, 50.0]])
+        hdr = highest_density_region(data, mass=0.95)
+        assert hdr.low == 10.0
+        assert hdr.high == 10.0
+
+    def test_single_sample(self):
+        hdr = highest_density_region(np.array([4.2]))
+        assert hdr.low == hdr.high == 4.2
+
+    def test_contains(self):
+        hdr = highest_density_region(np.linspace(0, 10, 100), mass=1.0)
+        assert hdr.contains(5.0)
+        assert not hdr.contains(11.0)
+
+    def test_bimodal_picks_denser_mode(self):
+        # 60 samples at 0 +- 0.1, 30 at 10 +- 0.1: HDR(0.6) hugs the big mode
+        rng = np.random.default_rng(1)
+        data = np.concatenate(
+            [rng.normal(0.0, 0.1, 60), rng.normal(10.0, 0.1, 30)]
+        )
+        hdr = highest_density_region(data, mass=0.6)
+        assert hdr.width < 1.0
+        assert hdr.contains(0.0)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            highest_density_region(np.array([]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            highest_density_region(np.array([1.0, np.nan]))
+
+    @pytest.mark.parametrize("mass", [0.0, -0.5, 1.5])
+    def test_rejects_bad_mass(self, mass):
+        with pytest.raises(ValueError, match="mass"):
+            highest_density_region(np.array([1.0, 2.0]), mass=mass)
+
+
+class TestProperties:
+    @settings(max_examples=100)
+    @given(
+        data=arrays(
+            float,
+            st.integers(min_value=1, max_value=200),
+            elements=st.floats(min_value=-100, max_value=100),
+        ),
+        mass=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_coverage(self, data, mass):
+        """The HDR must contain at least ``mass`` of the sample."""
+        hdr = highest_density_region(data, mass=mass)
+        inside = np.mean((data >= hdr.low) & (data <= hdr.high))
+        assert inside >= mass - 1e-12
+
+    @settings(max_examples=100)
+    @given(
+        data=arrays(
+            float,
+            st.integers(min_value=3, max_value=120),
+            elements=st.floats(min_value=-100, max_value=100),
+        ),
+        mass=st.floats(min_value=0.05, max_value=0.99),
+    )
+    def test_minimality_among_order_statistic_windows(self, data, mass):
+        """No other window of the required size is narrower."""
+        import math
+
+        hdr = highest_density_region(data, mass=mass)
+        n = len(data)
+        k = math.ceil(mass * n)
+        ordered = np.sort(data)
+        if k >= n:
+            return
+        widths = ordered[k - 1 :] - ordered[: n - k + 1]
+        assert hdr.width <= widths.min() + 1e-12
+
+    @settings(max_examples=50)
+    @given(
+        data=arrays(
+            float,
+            st.integers(min_value=2, max_value=100),
+            elements=st.floats(min_value=-50, max_value=50),
+        )
+    )
+    def test_monotone_in_mass(self, data):
+        """A larger mass can never shrink the interval."""
+        small = highest_density_region(data, mass=0.5)
+        big = highest_density_region(data, mass=0.95)
+        assert big.width >= small.width - 1e-12
+
+    def test_gaussian_width_close_to_theory(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(0.0, 1.0, 200_000)
+        hdr = highest_density_region(data, mass=0.95)
+        # shortest 95% interval of a standard normal is +-1.96
+        assert hdr.width == pytest.approx(3.92, rel=0.02)
+        assert abs(hdr.low + 1.96) < 0.1

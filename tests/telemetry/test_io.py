@@ -1,0 +1,102 @@
+"""Tests for trace/summary persistence."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.dataset import BackboneConfig, BackboneDataset
+from repro.telemetry.io import (
+    load_summaries,
+    load_traces,
+    save_summaries,
+    save_traces,
+)
+from repro.telemetry.stats import summarize_trace
+from repro.telemetry.timebase import Timebase
+from repro.telemetry.traces import NoiseModel, synthesize_cable_traces
+
+
+@pytest.fixture
+def traces():
+    tb = Timebase.from_duration(days=3.0)
+    return synthesize_cable_traces(
+        "io-cable",
+        np.array([14.0, 15.0, 16.0]),
+        tb,
+        [],
+        {},
+        NoiseModel(sigma_db=0.1),
+        np.random.default_rng(0),
+    )
+
+
+class TestTraceRoundTrip:
+    def test_snr_preserved(self, traces, tmp_path):
+        path = save_traces(tmp_path / "cable.npz", traces)
+        loaded = load_traces(path)
+        assert len(loaded) == 3
+        for orig, back in zip(traces, loaded):
+            assert back.link_id == orig.link_id
+            assert back.cable_name == orig.cable_name
+            assert back.baseline_db == pytest.approx(orig.baseline_db)
+            # float32 storage: small quantisation only
+            np.testing.assert_allclose(back.snr_db, orig.snr_db, atol=1e-3)
+
+    def test_timebase_preserved(self, traces, tmp_path):
+        path = save_traces(tmp_path / "cable.npz", traces)
+        loaded = load_traces(path)
+        assert loaded[0].timebase == traces[0].timebase
+
+    def test_events_not_persisted(self, traces, tmp_path):
+        path = save_traces(tmp_path / "cable.npz", traces)
+        assert load_traces(path)[0].events == ()
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_traces(tmp_path / "x.npz", [])
+
+    def test_mixed_cables_rejected(self, traces, tmp_path):
+        tb = traces[0].timebase
+        other = synthesize_cable_traces(
+            "other", np.array([12.0]), tb, [], {},
+            NoiseModel(), np.random.default_rng(1),
+        )
+        with pytest.raises(ValueError, match="one cable"):
+            save_traces(tmp_path / "x.npz", traces + other)
+
+    def test_mixed_timebases_rejected(self, traces, tmp_path):
+        other = synthesize_cable_traces(
+            "io-cable", np.array([12.0]),
+            Timebase.from_duration(days=1.0), [], {},
+            NoiseModel(), np.random.default_rng(1),
+        )
+        with pytest.raises(ValueError, match="timebase"):
+            save_traces(tmp_path / "x.npz", traces + other)
+
+
+class TestSummaryRoundTrip:
+    def test_full_round_trip(self, traces, tmp_path):
+        summaries = [summarize_trace(t) for t in traces]
+        path = save_summaries(tmp_path / "summaries.json", summaries)
+        loaded = load_summaries(path)
+        assert loaded == summaries
+
+    def test_dataset_summaries_round_trip(self, tmp_path):
+        ds = BackboneDataset(BackboneConfig.small(years=0.05, n_cables=2))
+        summaries = ds.summaries()
+        path = save_summaries(tmp_path / "s.json", summaries)
+        assert load_summaries(path) == summaries
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_summaries(tmp_path / "x.json", [])
+
+    def test_version_checked(self, traces, tmp_path):
+        import json
+
+        summaries = [summarize_trace(traces[0])]
+        path = save_summaries(tmp_path / "s.json", summaries)
+        doc = json.loads(path.read_text())
+        doc["version"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="version"):
+            load_summaries(path)

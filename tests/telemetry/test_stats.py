@@ -1,0 +1,169 @@
+"""Tests for range/episode statistics and link summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.optics.impairments import AmplifierDegradation
+from repro.telemetry.stats import (
+    snr_range_db,
+    summarize_trace,
+    threshold_episodes,
+)
+from repro.telemetry.timebase import Timebase
+from repro.telemetry.traces import NoiseModel, synthesize_cable_traces
+
+
+class TestRange:
+    def test_simple(self):
+        assert snr_range_db(np.array([3.0, 10.0, 7.0])) == 7.0
+
+    def test_constant_is_zero(self):
+        assert snr_range_db(np.full(10, 5.0)) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            snr_range_db(np.array([]))
+
+
+class TestThresholdEpisodes:
+    def test_no_crossing(self):
+        eps = threshold_episodes(np.full(10, 10.0), 6.5, 900.0)
+        assert eps == []
+
+    def test_single_episode(self):
+        snr = np.array([10, 10, 5, 4, 5, 10, 10], dtype=float)
+        eps = threshold_episodes(snr, 6.5, 900.0)
+        assert len(eps) == 1
+        assert eps[0].start_index == 2
+        assert eps[0].n_samples == 3
+        assert eps[0].min_snr_db == 4.0
+        assert eps[0].duration_s == 2700.0
+
+    def test_two_episodes(self):
+        snr = np.array([5, 10, 5, 5, 10], dtype=float)
+        eps = threshold_episodes(snr, 6.5, 900.0)
+        assert len(eps) == 2
+        assert eps[0].n_samples == 1
+        assert eps[1].n_samples == 2
+
+    def test_episode_at_trace_edges(self):
+        snr = np.array([5, 10, 5], dtype=float)
+        eps = threshold_episodes(snr, 6.5, 900.0)
+        assert [e.start_index for e in eps] == [0, 2]
+
+    def test_strictly_below_semantics(self):
+        # exactly at the threshold is *up* (the link still closes)
+        eps = threshold_episodes(np.array([6.5, 6.5]), 6.5, 900.0)
+        assert eps == []
+
+    def test_entire_trace_down(self):
+        eps = threshold_episodes(np.zeros(5), 6.5, 900.0)
+        assert len(eps) == 1
+        assert eps[0].n_samples == 5
+
+    def test_duration_hours(self):
+        snr = np.array([0.0] * 8, dtype=float)
+        eps = threshold_episodes(snr, 6.5, 900.0)
+        assert eps[0].duration_hours == pytest.approx(2.0)
+
+    @settings(max_examples=60)
+    @given(
+        snr=arrays(
+            float,
+            st.integers(min_value=1, max_value=150),
+            elements=st.floats(min_value=0.0, max_value=20.0),
+        ),
+        threshold=st.floats(min_value=1.0, max_value=19.0),
+    )
+    def test_episode_invariants(self, snr, threshold):
+        eps = threshold_episodes(snr, threshold, 900.0)
+        # episodes tile exactly the below-threshold samples
+        covered = np.zeros(len(snr), dtype=bool)
+        for e in eps:
+            sl = slice(e.start_index, e.start_index + e.n_samples)
+            assert not covered[sl].any(), "episodes must not overlap"
+            covered[sl] = True
+            assert (snr[sl] < threshold).all()
+            assert e.min_snr_db == snr[sl].min()
+        assert covered.sum() == (snr < threshold).sum()
+        # maximality: the sample before/after each episode is not below
+        for e in eps:
+            if e.start_index > 0:
+                assert snr[e.start_index - 1] >= threshold
+            end = e.start_index + e.n_samples
+            if end < len(snr):
+                assert snr[end] >= threshold
+
+
+def _make_trace(baseline=15.0, events=(), days=30.0, sigma=0.05):
+    tb = Timebase.from_duration(days=days)
+    return synthesize_cable_traces(
+        "c",
+        np.array([baseline]),
+        tb,
+        list(events),
+        {},
+        NoiseModel(sigma_db=sigma, wander_amplitude_db=0.0),
+        np.random.default_rng(0),
+    )[0]
+
+
+class TestSummarizeTrace:
+    def test_feasible_capacity_from_hdr_low(self):
+        trace = _make_trace(baseline=13.0)
+        summary = summarize_trace(trace)
+        # HDR low is ~13 - small noise -> clears 175G threshold (12.5)
+        assert summary.feasible_capacity_gbps == 175.0
+        assert summary.capacity_gain_gbps == 75.0
+
+    def test_dip_does_not_move_feasible_capacity(self):
+        # a 2-hour dip is < 5% of a month: HDR(95%) ignores it
+        event = AmplifierDegradation(86_400.0, 7_200.0, 10.0)
+        with_dip = summarize_trace(_make_trace(baseline=13.0, events=[event]))
+        without = summarize_trace(_make_trace(baseline=13.0))
+        assert with_dip.feasible_capacity_gbps == without.feasible_capacity_gbps
+
+    def test_dip_widens_range_not_hdr(self):
+        event = AmplifierDegradation(86_400.0, 7_200.0, 10.0)
+        with_dip = summarize_trace(_make_trace(baseline=13.0, events=[event]))
+        without = summarize_trace(_make_trace(baseline=13.0))
+        assert with_dip.range_db > without.range_db + 8.0
+        assert with_dip.hdr_width_db == pytest.approx(
+            without.hdr_width_db, abs=0.1
+        )
+
+    def test_failure_counted_at_affected_capacities_only(self):
+        # dip from 15 dB to 5 dB: fails 100G+ but not 50G (threshold 3.0)
+        event = AmplifierDegradation(86_400.0, 7_200.0, 10.0)
+        summary = summarize_trace(_make_trace(baseline=15.0, events=[event]))
+        assert summary.failures_at(100.0).n_episodes == 1
+        assert summary.failures_at(50.0).n_episodes == 0
+        assert summary.failures_at(200.0).n_episodes == 1
+
+    def test_failure_min_snr_recorded(self):
+        event = AmplifierDegradation(86_400.0, 7_200.0, 10.0)
+        summary = summarize_trace(_make_trace(baseline=15.0, events=[event]))
+        stats = summary.failures_at(100.0)
+        assert stats.min_snrs_db[0] == pytest.approx(5.0, abs=0.3)
+        assert stats.durations_h[0] == pytest.approx(2.0, abs=0.5)
+
+    def test_unknown_capacity_raises(self):
+        summary = summarize_trace(_make_trace())
+        with pytest.raises(KeyError):
+            summary.failures_at(400.0)
+
+    def test_total_downtime(self):
+        e1 = AmplifierDegradation(86_400.0, 3_600.0, 12.0)
+        e2 = AmplifierDegradation(5 * 86_400.0, 7_200.0, 12.0)
+        summary = summarize_trace(_make_trace(baseline=15.0, events=[e1, e2]))
+        stats = summary.failures_at(100.0)
+        assert stats.n_episodes == 2
+        assert stats.total_downtime_h == pytest.approx(3.0, abs=0.6)
+        assert stats.mean_duration_h == pytest.approx(1.5, abs=0.3)
+
+    def test_mean_duration_zero_when_no_failures(self):
+        summary = summarize_trace(_make_trace(baseline=20.0))
+        assert summary.failures_at(100.0).mean_duration_h == 0.0

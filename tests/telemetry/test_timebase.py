@@ -1,0 +1,93 @@
+"""Tests for the telemetry sampling grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.telemetry.timebase import Timebase
+
+
+class TestConstruction:
+    def test_from_days(self):
+        tb = Timebase.from_duration(days=1.0)
+        assert tb.n_samples == 96  # 24h * 4 samples/h
+        assert tb.interval_s == 900.0
+
+    def test_from_years_matches_paper_study(self):
+        tb = Timebase.from_duration(years=2.5)
+        # 2.5 years of 15-minute samples: ~87.6k
+        assert 87_000 < tb.n_samples < 88_000
+
+    def test_rejects_both_years_and_days(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            Timebase.from_duration(years=1.0, days=10.0)
+
+    def test_rejects_neither(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            Timebase.from_duration()
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            Timebase(n_samples=0)
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            Timebase(n_samples=10, interval_s=0.0)
+
+    def test_rejects_too_short_duration(self):
+        with pytest.raises(ValueError):
+            Timebase.from_duration(days=0.001, interval_s=900.0)
+
+
+class TestQueries:
+    def test_duration(self):
+        tb = Timebase(n_samples=4, interval_s=900.0)
+        assert tb.duration_s == 3600.0
+        assert tb.end_s == 3600.0
+
+    def test_times_grid(self):
+        tb = Timebase(n_samples=3, interval_s=10.0, start_s=5.0)
+        np.testing.assert_allclose(tb.times_s(), [5.0, 15.0, 25.0])
+
+    def test_index_at(self):
+        tb = Timebase(n_samples=10, interval_s=10.0)
+        assert tb.index_at(0.0) == 0
+        assert tb.index_at(9.99) == 0
+        assert tb.index_at(10.0) == 1
+        assert tb.index_at(95.0) == 9
+
+    def test_index_at_clamps(self):
+        tb = Timebase(n_samples=10, interval_s=10.0)
+        assert tb.index_at(-50.0) == 0
+        assert tb.index_at(1e9) == 9
+
+    def test_slice_between(self):
+        tb = Timebase(n_samples=10, interval_s=10.0)
+        assert tb.slice_between(25.0, 45.0) == slice(2, 5)
+
+    def test_slice_outside_horizon_is_empty(self):
+        tb = Timebase(n_samples=10, interval_s=10.0)
+        assert tb.slice_between(200.0, 300.0) == slice(0, 0)
+        assert tb.slice_between(-100.0, -1.0) == slice(0, 0)
+
+    def test_slice_clips_to_horizon(self):
+        tb = Timebase(n_samples=10, interval_s=10.0)
+        s = tb.slice_between(-100.0, 1e9)
+        assert s == slice(0, 10)
+
+    def test_len(self):
+        assert len(Timebase(n_samples=42)) == 42
+
+    @given(
+        t0=st.floats(min_value=-100.0, max_value=200.0),
+        dt=st.floats(min_value=0.1, max_value=300.0),
+    )
+    def test_slice_covers_window(self, t0, dt):
+        tb = Timebase(n_samples=10, interval_s=10.0)
+        s = tb.slice_between(t0, t0 + dt)
+        assert 0 <= s.start <= s.stop <= 10
+        # every sample inside the slice intersects the window
+        times = tb.times_s()[s]
+        for t in times:
+            assert t < t0 + dt and t + tb.interval_s > t0

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize(
+        "command",
+        ["study", "testbed", "tickets", "throughput", "availability", "theorem"],
+    )
+    def test_known_commands_parse(self, command):
+        args = build_parser().parse_args([command])
+        assert callable(args.handler)
+
+
+class TestCommands:
+    def test_testbed(self, capsys):
+        assert main(["testbed", "--changes", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "standard" in out
+        assert "efficient" in out
+
+    def test_tickets(self, capsys):
+        assert main(["tickets"]) == 0
+        out = capsys.readouterr().out
+        assert "Fiber cut" in out
+        assert "opportunity area" in out
+
+    def test_theorem(self, capsys):
+        assert main(["theorem", "--nodes", "5", "--seed", "3"]) == 0
+        assert "Theorem 1 holds: True" in capsys.readouterr().out
+
+    def test_study_small(self, capsys):
+        assert main(["study", "--cables", "2", "--years", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "HDR" in out
+
+    def test_throughput(self, capsys):
+        assert (
+            main(["throughput", "--scales", "0.5", "--offered-gbps", "1000"]) == 0
+        )
+        assert "gain x" in capsys.readouterr().out
+
+    def test_availability_small(self, capsys):
+        assert main(["availability", "--cables", "2", "--years", "0.1"]) == 0
+        assert "binary failures" in capsys.readouterr().out

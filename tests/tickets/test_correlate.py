@@ -1,0 +1,109 @@
+"""Tests for ticket <-> telemetry correlation."""
+
+import numpy as np
+import pytest
+
+from repro.optics.impairments import RootCause
+from repro.telemetry.dataset import BackboneConfig, BackboneDataset
+from repro.telemetry.stats import threshold_episodes
+from repro.tickets.correlate import (
+    cable_events_to_impairments,
+    match_ticket_to_episodes,
+    tickets_from_dataset,
+)
+from repro.tickets.model import Ticket
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return BackboneDataset(BackboneConfig(n_cables=5, years=1.0, seed=9))
+
+
+class TestTicketsFromDataset:
+    def test_one_ticket_per_cable_event(self, dataset):
+        tickets = tickets_from_dataset(dataset)
+        expected = 0
+        for spec in dataset.cable_specs():
+            traces = dataset.cable_traces(spec)
+            cable_events = {
+                (e.start_s, e.duration_s) for e in traces[0].events
+                if e.scope.value == "cable"
+            }
+            expected += len(cable_events)
+        assert len(tickets) == expected
+
+    def test_sorted_and_unique_ids(self, dataset):
+        tickets = tickets_from_dataset(dataset)
+        opens = [t.opened_s for t in tickets]
+        assert opens == sorted(opens)
+        assert len({t.ticket_id for t in tickets}) == len(tickets)
+
+    def test_elements_are_cables(self, dataset):
+        tickets = tickets_from_dataset(dataset)
+        cables = {spec.name for spec in dataset.cable_specs()}
+        assert {t.element for t in tickets} <= cables
+
+    def test_deterministic(self, dataset):
+        assert tickets_from_dataset(dataset) == tickets_from_dataset(dataset)
+
+    def test_maintenance_flag(self, dataset):
+        for ticket in tickets_from_dataset(dataset):
+            assert ticket.during_maintenance == (
+                ticket.root_cause is RootCause.MAINTENANCE
+            )
+
+
+class TestMatching:
+    def test_ticket_explains_the_failure_it_caused(self):
+        """Deep cable events must match failure episodes on their links."""
+        from repro.optics.snr import required_snr_db
+
+        # a corpus sized so fiber cuts are certain at this seed
+        big = BackboneDataset(BackboneConfig(n_cables=8, years=2.0, seed=10))
+        tickets = tickets_from_dataset(big)
+        deep = [t for t in tickets if t.root_cause is RootCause.FIBER_CUT]
+        assert deep, "seed 10 draws fiber cuts; corpus construction changed?"
+        ticket = deep[0]
+        spec = next(s for s in big.cable_specs() if s.name == ticket.element)
+        trace = big.cable_traces(spec)[0]
+        episodes = threshold_episodes(
+            trace.snr_db, required_snr_db(100.0), trace.timebase.interval_s
+        )
+        match = match_ticket_to_episodes(ticket, trace, episodes)
+        assert match.episodes, "a loss-of-light ticket must match a failure"
+        assert match.explained_downtime_h > 0
+
+    def test_unrelated_window_matches_nothing(self, dataset):
+        spec = dataset.cable_specs()[0]
+        trace = dataset.cable_traces(spec)[0]
+        episodes = threshold_episodes(trace.snr_db, 6.5, trace.timebase.interval_s)
+        ghost = Ticket(
+            ticket_id="TKT-999999",
+            root_cause=RootCause.HARDWARE,
+            opened_s=trace.timebase.duration_s + 1e7,
+            duration_s=3600.0,
+            element=spec.name,
+        )
+        match = match_ticket_to_episodes(ghost, trace, episodes)
+        assert match.episodes == ()
+
+    def test_slop_validation(self, dataset):
+        spec = dataset.cable_specs()[0]
+        trace = dataset.cable_traces(spec)[0]
+        ticket = Ticket("TKT-0", RootCause.HARDWARE, 0.0, 10.0, spec.name)
+        with pytest.raises(ValueError):
+            match_ticket_to_episodes(ticket, trace, [], slop_s=-1.0)
+
+
+class TestReplayDirection:
+    def test_round_trip_to_impairments(self):
+        tickets = [
+            Ticket("TKT-0", RootCause.FIBER_CUT, 100.0, 3600.0, "c0"),
+            Ticket("TKT-1", RootCause.HARDWARE, 900.0, 1800.0, "c0"),
+        ]
+        events = cable_events_to_impairments(tickets)
+        assert len(events) == 2
+        assert events[0].is_loss_of_light  # the cut
+        assert not events[1].is_loss_of_light
+        assert events[0].start_s == 100.0
+        assert events[0].duration_s == 3600.0

@@ -1,0 +1,95 @@
+"""Tests for the ticket-corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.optics.impairments import RootCause
+from repro.tickets.generator import CauseProfile, TicketConfig, TicketGenerator
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return TicketGenerator().generate(np.random.default_rng(2017))
+
+
+class TestConfigValidation:
+    def test_default_probabilities_sum_to_one(self):
+        TicketConfig()  # must not raise
+
+    def test_rejects_bad_probability_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            TicketConfig(
+                profiles={
+                    RootCause.HARDWARE: CauseProfile(0.5, 1.0),
+                    RootCause.FIBER_CUT: CauseProfile(0.2, 1.0),
+                }
+            )
+
+    def test_rejects_zero_events(self):
+        with pytest.raises(ValueError):
+            TicketConfig(n_events=0)
+
+    def test_rejects_zero_months(self):
+        with pytest.raises(ValueError):
+            TicketConfig(months=0.0)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            CauseProfile(1.5, 1.0)
+        with pytest.raises(ValueError):
+            CauseProfile(0.5, 0.0)
+
+
+class TestCorpus:
+    def test_event_count(self, corpus):
+        assert len(corpus) == 250
+
+    def test_sorted_by_open_time(self, corpus):
+        opens = [t.opened_s for t in corpus]
+        assert opens == sorted(opens)
+
+    def test_within_seven_months(self, corpus):
+        horizon = TicketConfig().duration_s
+        assert all(0.0 <= t.opened_s <= horizon for t in corpus)
+
+    def test_unique_ids(self, corpus):
+        assert len({t.ticket_id for t in corpus}) == len(corpus)
+
+    def test_all_causes_present(self, corpus):
+        causes = {t.root_cause for t in corpus}
+        assert causes == set(RootCause)
+
+    def test_maintenance_flag_consistent(self, corpus):
+        for t in corpus:
+            assert t.during_maintenance == (
+                t.root_cause is RootCause.MAINTENANCE
+            )
+
+    def test_deterministic(self):
+        a = TicketGenerator().generate(np.random.default_rng(1))
+        b = TicketGenerator().generate(np.random.default_rng(1))
+        assert a == b
+
+    def test_category_shares_near_config(self):
+        # large corpus: empirical shares converge to configured probabilities
+        cfg = TicketConfig(n_events=20_000)
+        corpus = TicketGenerator(cfg).generate(np.random.default_rng(3))
+        frac_maint = sum(
+            t.root_cause is RootCause.MAINTENANCE for t in corpus
+        ) / len(corpus)
+        assert frac_maint == pytest.approx(0.25, abs=0.02)
+
+    def test_fiber_cuts_longer_than_undocumented(self):
+        cfg = TicketConfig(n_events=20_000)
+        corpus = TicketGenerator(cfg).generate(np.random.default_rng(3))
+        cut_h = np.median(
+            [t.duration_hours for t in corpus if t.root_cause is RootCause.FIBER_CUT]
+        )
+        undoc_h = np.median(
+            [
+                t.duration_hours
+                for t in corpus
+                if t.root_cause is RootCause.UNDOCUMENTED
+            ]
+        )
+        assert cut_h > 3 * undoc_h

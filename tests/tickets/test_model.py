@@ -1,0 +1,44 @@
+"""Tests for the ticket record."""
+
+import pytest
+
+from repro.optics.impairments import RootCause
+from repro.tickets.model import Ticket
+
+
+def make_ticket(**kw):
+    defaults = dict(
+        ticket_id="TKT-000001",
+        root_cause=RootCause.HARDWARE,
+        opened_s=100.0,
+        duration_s=3600.0,
+        element="cable001",
+    )
+    defaults.update(kw)
+    return Ticket(**defaults)
+
+
+class TestTicket:
+    def test_closed_time(self):
+        assert make_ticket().closed_s == 3700.0
+
+    def test_duration_hours(self):
+        assert make_ticket(duration_s=7200.0).duration_hours == 2.0
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            make_ticket(duration_s=0.0)
+
+    def test_rejects_negative_open(self):
+        with pytest.raises(ValueError):
+            make_ticket(opened_s=-1.0)
+
+    def test_fiber_cut_is_binary(self):
+        assert make_ticket(root_cause=RootCause.FIBER_CUT).is_binary_failure
+
+    @pytest.mark.parametrize(
+        "cause",
+        [RootCause.MAINTENANCE, RootCause.HARDWARE, RootCause.UNDOCUMENTED],
+    )
+    def test_other_causes_are_opportunity(self, cause):
+        assert not make_ticket(root_cause=cause).is_binary_failure

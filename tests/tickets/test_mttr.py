@@ -1,0 +1,107 @@
+"""Tests for MTTR/MTBF reliability statistics."""
+
+import numpy as np
+import pytest
+
+from repro.optics.impairments import RootCause
+from repro.tickets.generator import TicketConfig, TicketGenerator
+from repro.tickets.model import Ticket
+from repro.tickets.mttr import (
+    mttr_improvement_with_dynamic_capacity,
+    reliability_by_cause,
+    reliability_stats,
+)
+
+
+def ticket(cause, hours, i=0):
+    return Ticket(f"TKT-{i:06d}", cause, float(i), hours * 3600.0, "c0")
+
+
+class TestReliabilityStats:
+    def test_hand_computed(self):
+        tickets = [
+            ticket(RootCause.HARDWARE, 2.0, 0),
+            ticket(RootCause.HARDWARE, 4.0, 1),
+        ]
+        stats = reliability_stats(tickets, observed_hours=1000.0)
+        assert stats.mttr_hours == pytest.approx(3.0)
+        assert stats.mtbf_hours == pytest.approx(500.0)
+        assert stats.availability == pytest.approx(500.0 / 503.0)
+        assert stats.annualised_event_rate == pytest.approx(2 / (1000 / 8766))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reliability_stats([], observed_hours=100.0)
+        with pytest.raises(ValueError):
+            reliability_stats([ticket(RootCause.HARDWARE, 1.0)], observed_hours=0.0)
+
+    def test_corpus_scale(self):
+        cfg = TicketConfig()
+        corpus = TicketGenerator(cfg).generate(np.random.default_rng(1))
+        observed = cfg.duration_s / 3600.0
+        stats = reliability_stats(corpus, observed_hours=observed)
+        assert stats.n_events == 250
+        assert 1.0 < stats.mttr_hours < 12.0  # hours, as in Figure 3b
+        assert stats.availability > 0.8
+
+
+class TestByCause:
+    def test_cuts_have_higher_mttr(self):
+        corpus = TicketGenerator(TicketConfig(n_events=5000)).generate(
+            np.random.default_rng(2)
+        )
+        observed = TicketConfig().duration_s / 3600.0
+        by_cause = reliability_by_cause(corpus, observed_hours=observed)
+        assert (
+            by_cause[RootCause.FIBER_CUT].mttr_hours
+            > by_cause[RootCause.UNDOCUMENTED].mttr_hours
+        )
+
+    def test_only_present_causes(self):
+        tickets = [ticket(RootCause.HARDWARE, 1.0)]
+        by_cause = reliability_by_cause(tickets, observed_hours=100.0)
+        assert set(by_cause) == {RootCause.HARDWARE}
+
+
+class TestMitigation:
+    def test_improvement_direction(self):
+        corpus = TicketGenerator().generate(np.random.default_rng(3))
+        observed = TicketConfig().duration_s / 3600.0
+        before, after = mttr_improvement_with_dynamic_capacity(
+            corpus, observed_hours=observed
+        )
+        assert after.n_events < before.n_events
+        assert after.mtbf_hours > before.mtbf_hours
+        assert after.availability >= before.availability - 1e-9
+
+    def test_cuts_never_mitigated(self):
+        tickets = [
+            ticket(RootCause.FIBER_CUT, 5.0, i) for i in range(4)
+        ] + [ticket(RootCause.HARDWARE, 1.0, 10)]
+        before, after = mttr_improvement_with_dynamic_capacity(
+            tickets, observed_hours=1000.0, mitigated_fraction=1.0
+        )
+        assert after.n_events == 4  # only the hardware event went away
+
+    def test_zero_fraction_is_identity(self):
+        corpus = TicketGenerator().generate(np.random.default_rng(4))
+        before, after = mttr_improvement_with_dynamic_capacity(
+            corpus, observed_hours=5000.0, mitigated_fraction=0.0
+        )
+        assert before == after
+
+    def test_full_mitigation_of_all_non_cuts(self):
+        tickets = [ticket(RootCause.HARDWARE, 1.0, i) for i in range(3)]
+        before, after = mttr_improvement_with_dynamic_capacity(
+            tickets, observed_hours=100.0, mitigated_fraction=1.0
+        )
+        assert after.n_events == 0
+        assert after.availability == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mttr_improvement_with_dynamic_capacity(
+                [ticket(RootCause.HARDWARE, 1.0)],
+                observed_hours=10.0,
+                mitigated_fraction=1.5,
+            )
