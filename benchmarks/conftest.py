@@ -4,12 +4,19 @@ The measurement-study benches share one synthetic backbone.  The
 default is a reduced-scale corpus (~900 links x 1.5 years) so the whole
 harness runs in minutes; set ``REPRO_BENCH_SCALE=full`` for the paper's
 full ~2,000 links x 2.5 years.
+
+Synthesis goes through the performance layer: ``REPRO_WORKERS=N``
+parallelises cable synthesis, and warm runs hit the on-disk summary
+cache (``REPRO_CACHE_DIR``, disable with ``REPRO_NO_CACHE=1``) and skip
+synthesis entirely — the fixture prints which path was taken, backed by
+the ``repro.perf`` timers.
 """
 
 import os
 
 import pytest
 
+from repro import perf
 from repro.telemetry.dataset import BackboneConfig, BackboneDataset
 
 
@@ -26,4 +33,12 @@ def backbone_dataset():
 
 @pytest.fixture(scope="session")
 def backbone_summaries(backbone_dataset):
-    return backbone_dataset.summaries()
+    hits_before = perf.event_count("synthesis.cache_hit")
+    summaries = backbone_dataset.summaries()
+    if perf.event_count("synthesis.cache_hit") > hits_before:
+        print("\n[conftest] warm summary cache: synthesis skipped")
+    else:
+        stat = perf.timer_stat("synthesis.summaries")
+        print(f"\n[conftest] cold synthesis: {stat.total_s:.1f} s "
+              f"(workers={stat.meta.get('workers')})")
+    return summaries

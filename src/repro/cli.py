@@ -9,6 +9,13 @@ one shell command away:
 * ``throughput``   — static vs. dynamic TE sweep;
 * ``availability`` — binary failures vs. dynamic flaps;
 * ``theorem``      — the Theorem-1 equivalence check on a random WAN.
+
+Performance knobs (see the README's Performance section): telemetry
+subcommands accept ``--workers N`` (parallel cable synthesis; also the
+``REPRO_WORKERS`` env var) and ``--no-cache`` (skip the on-disk summary
+cache under ``REPRO_CACHE_DIR``/~/.cache/repro).  The global
+``--bench-json PATH`` flag writes the run's timing report
+(:mod:`repro.perf`) to a machine-readable JSON file.
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
     config = BackboneConfig(n_cables=args.cables, years=args.years, seed=args.seed)
     dataset = BackboneDataset(config)
     print(f"synthesising {dataset.n_links()} links x {config.years} years...")
-    summaries = dataset.summaries()
+    summaries = dataset.summaries(workers=args.workers, cache=not args.no_cache)
 
     fig2a = figures.fig2a_snr_variation(summaries)
     fig2b = figures.fig2b_feasible_capacity(summaries)
@@ -102,7 +109,7 @@ def _cmd_availability(args: argparse.Namespace) -> int:
     dataset = BackboneDataset(
         BackboneConfig(n_cables=args.cables, years=args.years, seed=args.seed)
     )
-    report = availability_report(dataset.iter_traces())
+    report = availability_report(dataset.iter_traces(workers=args.workers))
     print(f"links: {report.n_links}")
     print(f"binary failures: {report.n_binary_failures}")
     print(f"avoided (flaps): {report.n_avoided} "
@@ -138,7 +145,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
         BackboneConfig(n_cables=args.cables, years=args.years, seed=args.seed)
     )
     print(f"synthesising {dataset.n_links()} links x {args.years} years...")
-    summaries = dataset.summaries()
+    summaries = dataset.summaries(workers=args.workers, cache=not args.no_cache)
     paths = export_all(
         args.outdir, summaries, years=args.years, seed=args.seed
     )
@@ -168,6 +175,18 @@ def _cmd_theorem(args: argparse.Namespace) -> int:
     return 0 if report.holds else 1
 
 
+def _add_perf_args(sub_parser: argparse.ArgumentParser) -> None:
+    """Synthesis performance knobs shared by the telemetry subcommands."""
+    sub_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="parallel cable synthesis (default: REPRO_WORKERS or serial)",
+    )
+    sub_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk summary cache (see REPRO_CACHE_DIR)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -176,12 +195,17 @@ def build_parser() -> argparse.ArgumentParser:
             "Capacities' (HotNets 2017)"
         ),
     )
+    parser.add_argument(
+        "--bench-json", type=str, default="", metavar="PATH",
+        help="write the run's timing report (repro.perf) to PATH",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     study = sub.add_parser("study", help="Section-2 telemetry study")
     study.add_argument("--cables", type=int, default=14)
     study.add_argument("--years", type=float, default=1.0)
     study.add_argument("--seed", type=int, default=2017)
+    _add_perf_args(study)
     study.set_defaults(handler=_cmd_study)
 
     testbed = sub.add_parser("testbed", help="Figure-6b BVT experiment")
@@ -205,6 +229,10 @@ def build_parser() -> argparse.ArgumentParser:
     availability.add_argument("--cables", type=int, default=10)
     availability.add_argument("--years", type=float, default=1.0)
     availability.add_argument("--seed", type=int, default=42)
+    availability.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="parallel cable synthesis (default: REPRO_WORKERS or serial)",
+    )
     availability.set_defaults(handler=_cmd_availability)
 
     export = sub.add_parser("export", help="write per-figure CSV data")
@@ -212,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--cables", type=int, default=12)
     export.add_argument("--years", type=float, default=1.0)
     export.add_argument("--seed", type=int, default=2017)
+    _add_perf_args(export)
     export.set_defaults(handler=_cmd_export)
 
     report = sub.add_parser("report", help="full reproduction report")
@@ -233,7 +262,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    status = args.handler(args)
+    if args.bench_json:
+        from repro import perf
+
+        path = perf.write_bench(args.bench_json, extra={"command": args.command})
+        print(f"wrote {path}")
+    return status
 
 
 if __name__ == "__main__":

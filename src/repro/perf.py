@@ -1,0 +1,153 @@
+"""Lightweight timing instrumentation for the hot paths.
+
+The synthesis and TE layers are wrapped in named timers so benchmarks,
+the CLI and CI can answer "where did the time go?" without a profiler.
+Three primitives:
+
+* :func:`timer` — a context manager that records one elapsed interval
+  under a name (``with perf.timer("synthesis.summaries", workers=4):``);
+* :func:`event` — a named counter for things that happen without a
+  duration worth measuring (cache hits, cables skipped);
+* :func:`collect` / :func:`write_bench` — aggregate everything recorded
+  so far into a report dict, optionally persisted as ``BENCH.json`` so
+  the perf trajectory is tracked PR-over-PR.
+
+All state lives in a module-level :class:`PerfRegistry`; tests and
+benchmarks call :func:`reset` for isolation.  The overhead per record is
+one ``perf_counter`` pair and a dict update — cheap enough to leave the
+instrumentation on unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class TimerStat:
+    """Aggregate of every interval recorded under one timer name."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = math.inf
+    max_s: float = 0.0
+    #: metadata of the most recent record (workers, cache state, ...)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def add(self, elapsed_s: float, meta: dict[str, Any]) -> None:
+        self.count += 1
+        self.total_s += elapsed_s
+        self.min_s = min(self.min_s, elapsed_s)
+        self.max_s = max(self.max_s, elapsed_s)
+        if meta:
+            self.meta = dict(meta)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+            "meta": self.meta,
+        }
+
+
+class PerfRegistry:
+    """Named timers and counters, aggregated in memory."""
+
+    def __init__(self) -> None:
+        self._timers: dict[str, TimerStat] = {}
+        self._events: dict[str, int] = {}
+
+    # -- recording --------------------------------------------------------
+
+    @contextmanager
+    def timer(self, name: str, **meta: Any) -> Iterator[None]:
+        """Time the enclosed block and record it under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start, **meta)
+
+    def record(self, name: str, elapsed_s: float, **meta: Any) -> None:
+        """Record one already-measured interval."""
+        if elapsed_s < 0:
+            raise ValueError("elapsed time must be non-negative")
+        self._timers.setdefault(name, TimerStat()).add(elapsed_s, meta)
+
+    def event(self, name: str, count: int = 1) -> None:
+        """Bump a named counter (cache hit, cable skipped, ...)."""
+        self._events[name] = self._events.get(name, 0) + count
+
+    # -- reading ----------------------------------------------------------
+
+    def timer_stat(self, name: str) -> TimerStat | None:
+        return self._timers.get(name)
+
+    def event_count(self, name: str) -> int:
+        return self._events.get(name, 0)
+
+    def collect(self, extra: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Aggregate everything recorded so far into a report dict.
+
+        The layout is the ``BENCH.json`` schema: stable keys, plain JSON
+        types, timers keyed by name with count/total/mean/min/max.
+        """
+        report: dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "generated_unix": time.time(),
+            "host": {
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            "timers": {
+                name: stat.as_dict() for name, stat in sorted(self._timers.items())
+            },
+            "events": dict(sorted(self._events.items())),
+        }
+        if extra:
+            report["extra"] = dict(extra)
+        return report
+
+    def reset(self) -> None:
+        self._timers.clear()
+        self._events.clear()
+
+    def write_bench(
+        self,
+        path: str | Path = "BENCH.json",
+        *,
+        extra: dict[str, Any] | None = None,
+    ) -> Path:
+        """Persist :meth:`collect` as machine-readable JSON."""
+        path = Path(path)
+        path.write_text(json.dumps(self.collect(extra), indent=2) + "\n")
+        return path
+
+
+#: Process-wide default registry used by the library's instrumentation.
+REGISTRY = PerfRegistry()
+
+timer = REGISTRY.timer
+record = REGISTRY.record
+event = REGISTRY.event
+timer_stat = REGISTRY.timer_stat
+event_count = REGISTRY.event_count
+collect = REGISTRY.collect
+reset = REGISTRY.reset
+write_bench = REGISTRY.write_bench

@@ -33,6 +33,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
+from repro import perf
 from repro.net.demands import Demand
 from repro.net.topology import Topology
 from repro.te.solution import EPSILON, FlowAssignment, TeSolution
@@ -69,6 +70,24 @@ class MultiCommodityLp:
         self.n_demands = len(self.demands)
         # x variables: commodity-major layout; t variables appended
         self.n_flow_vars = self.n_demands * self.n_links
+        # per-link index arrays: all constraint blocks are assembled from
+        # these with numpy broadcasting instead of per-(k, e) Python loops
+        self._link_src = np.fromiter(
+            (self._node_index[l.src] for l in self.links),
+            dtype=np.int64,
+            count=self.n_links,
+        )
+        self._link_dst = np.fromiter(
+            (self._node_index[l.dst] for l in self.links),
+            dtype=np.int64,
+            count=self.n_links,
+        )
+        self._link_ids = [l.link_id for l in self.links]
+        # constraint blocks are identical across the solve methods (and
+        # across both phases of the Theorem-1 program), so build each once
+        self._conservation_cache: tuple[sparse.coo_matrix, np.ndarray] | None = None
+        self._capacity_cache: tuple[sparse.coo_matrix, np.ndarray] | None = None
+        self._penalty_cache: np.ndarray | None = None
 
     # -- variable layout --------------------------------------------------
 
@@ -85,47 +104,68 @@ class MultiCommodityLp:
     # -- constraint blocks --------------------------------------------------
 
     def _conservation(self) -> tuple[sparse.coo_matrix, np.ndarray]:
-        """A_eq x = 0 rows: one per (commodity, node)."""
-        rows, cols, vals = [], [], []
-        row = 0
-        for k, demand in enumerate(self.demands):
-            src_i = self._node_index[demand.src]
-            dst_i = self._node_index[demand.dst]
-            for e, link in enumerate(self.links):
-                out_row = row + self._node_index[link.src]
-                in_row = row + self._node_index[link.dst]
-                rows.append(out_row)
-                cols.append(self._x(k, e))
-                vals.append(1.0)
-                rows.append(in_row)
-                cols.append(self._x(k, e))
-                vals.append(-1.0)
-            # net outflow at source must equal t_k; at sink, -t_k
-            rows.append(row + src_i)
-            cols.append(self._t(k))
-            vals.append(-1.0)
-            rows.append(row + dst_i)
-            cols.append(self._t(k))
-            vals.append(1.0)
-            row += len(self.nodes)
-        a_eq = sparse.coo_matrix(
-            (vals, (rows, cols)), shape=(row, self.n_vars)
-        )
-        return a_eq, np.zeros(row)
+        """A_eq x = 0 rows: one per (commodity, node).
+
+        Assembled once per instance as four COO blocks built with index
+        arithmetic (+1 at each link's source row, -1 at its destination
+        row, -/+1 tying t_k to its commodity's source/sink); every solve
+        method reuses the cached matrix.
+        """
+        if self._conservation_cache is None:
+            with perf.timer("lp.assemble.conservation"):
+                n_k, n_e = self.n_demands, self.n_links
+                n_n = len(self.nodes)
+                k = np.arange(n_k, dtype=np.int64)
+                e = np.arange(n_e, dtype=np.int64)
+                flow_cols = (k[:, None] * n_e + e[None, :]).ravel()
+                out_rows = (k[:, None] * n_n + self._link_src[None, :]).ravel()
+                in_rows = (k[:, None] * n_n + self._link_dst[None, :]).ravel()
+                d_src = np.fromiter(
+                    (self._node_index[d.src] for d in self.demands),
+                    dtype=np.int64,
+                    count=n_k,
+                )
+                d_dst = np.fromiter(
+                    (self._node_index[d.dst] for d in self.demands),
+                    dtype=np.int64,
+                    count=n_k,
+                )
+                rows = np.concatenate(
+                    [out_rows, in_rows, k * n_n + d_src, k * n_n + d_dst]
+                )
+                cols = np.concatenate(
+                    [flow_cols, flow_cols, self.n_flow_vars + k, self.n_flow_vars + k]
+                )
+                vals = np.concatenate(
+                    [
+                        np.ones(n_k * n_e),
+                        -np.ones(n_k * n_e),
+                        -np.ones(n_k),
+                        np.ones(n_k),
+                    ]
+                )
+                a_eq = sparse.coo_matrix(
+                    (vals, (rows, cols)), shape=(n_k * n_n, self.n_vars)
+                )
+                self._conservation_cache = (a_eq, np.zeros(n_k * n_n))
+        return self._conservation_cache
 
     def _capacity(self) -> tuple[sparse.coo_matrix, np.ndarray]:
         """A_ub x <= cap rows: one per link, summed over commodities."""
-        rows, cols, vals = [], [], []
-        for e in range(self.n_links):
-            for k in range(self.n_demands):
-                rows.append(e)
-                cols.append(self._x(k, e))
-                vals.append(1.0)
-        a_ub = sparse.coo_matrix(
-            (vals, (rows, cols)), shape=(self.n_links, self.n_vars)
-        )
-        b_ub = np.array([l.capacity_gbps for l in self.links])
-        return a_ub, b_ub
+        if self._capacity_cache is None:
+            with perf.timer("lp.assemble.capacity"):
+                n_k, n_e = self.n_demands, self.n_links
+                k = np.arange(n_k, dtype=np.int64)
+                e = np.arange(n_e, dtype=np.int64)
+                rows = np.tile(e, n_k)
+                cols = (k[:, None] * n_e + e[None, :]).ravel()
+                a_ub = sparse.coo_matrix(
+                    (np.ones(n_k * n_e), (rows, cols)),
+                    shape=(n_e, self.n_vars),
+                )
+                b_ub = np.array([l.capacity_gbps for l in self.links])
+                self._capacity_cache = (a_ub, b_ub)
+        return self._capacity_cache
 
     def _bounds(self, *, cap_throughput: bool = True) -> list[tuple[float, float | None]]:
         bounds: list[tuple[float, float | None]] = [
@@ -137,44 +177,57 @@ class MultiCommodityLp:
         return bounds
 
     def _penalty_vector(self) -> np.ndarray:
-        c = np.zeros(self.n_vars)
-        for e, link in enumerate(self.links):
-            if link.penalty:
-                for k in range(self.n_demands):
-                    c[self._x(k, e)] = link.penalty
-        return c
+        """Per-variable penalty costs (a fresh copy — callers mutate it)."""
+        if self._penalty_cache is None:
+            per_link = np.fromiter(
+                (l.penalty for l in self.links), dtype=float, count=self.n_links
+            )
+            c = np.zeros(self.n_vars)
+            c[: self.n_flow_vars] = np.tile(per_link, self.n_demands)
+            self._penalty_cache = c
+        return self._penalty_cache.copy()
 
     # -- solves -------------------------------------------------------------
 
     def _run(self, c, a_ub, b_ub, a_eq, b_eq, bounds):
-        result = linprog(
-            c,
-            A_ub=a_ub.tocsr(),
-            b_ub=b_ub,
-            A_eq=a_eq.tocsr(),
-            b_eq=b_eq,
-            bounds=bounds,
-            method="highs",
-        )
+        with perf.timer(
+            "lp.solve", n_vars=len(c), n_demands=self.n_demands
+        ):
+            result = linprog(
+                c,
+                A_ub=a_ub.tocsr(),
+                b_ub=b_ub,
+                A_eq=a_eq.tocsr(),
+                b_eq=b_eq,
+                bounds=bounds,
+                method="highs",
+            )
         if not result.success:
             raise RuntimeError(f"LP failed: {result.message}")
         return result
 
     def _extract(self, x: np.ndarray) -> TeSolution:
-        assignments = []
-        for k, demand in enumerate(self.demands):
-            edge_flows = {}
-            for e, link in enumerate(self.links):
-                flow = float(x[self._x(k, e)])
-                if flow > EPSILON:
-                    edge_flows[link.link_id] = flow
-            assignments.append(
-                FlowAssignment(
-                    demand=demand,
-                    allocated_gbps=max(float(x[self._t(k)]), 0.0),
-                    edge_flows=edge_flows,
-                )
+        """Read a solver vector back into a TeSolution.
+
+        The flow block is scanned as one (n_demands, n_links) array; only
+        the entries above EPSILON (a handful per commodity) are touched in
+        Python.
+        """
+        flows = np.asarray(x[: self.n_flow_vars]).reshape(
+            self.n_demands, self.n_links
+        )
+        t_vals = np.asarray(x[self.n_flow_vars : self.n_flow_vars + self.n_demands])
+        edge_flows: list[dict[str, float]] = [{} for _ in range(self.n_demands)]
+        for k, e in zip(*(idx.tolist() for idx in np.nonzero(flows > EPSILON))):
+            edge_flows[k][self._link_ids[e]] = float(flows[k, e])
+        assignments = [
+            FlowAssignment(
+                demand=demand,
+                allocated_gbps=max(float(t_vals[k]), 0.0),
+                edge_flows=edge_flows[k],
             )
+            for k, demand in enumerate(self.demands)
+        ]
         return TeSolution(self.topology, assignments)
 
     def max_throughput(self, *, penalty_weight: float = 0.0) -> LpOutcome:
@@ -190,8 +243,7 @@ class MultiCommodityLp:
         c = penalty_weight * self._penalty_vector()
         # tiny per-unit-flow cost keeps solutions off pointless cycles
         c[: self.n_flow_vars] += 1e-9
-        for k in range(self.n_demands):
-            c[self._t(k)] = -1.0  # linprog minimises
+        c[self.n_flow_vars :] = -1.0  # linprog minimises; t vars fill the tail
         result = self._run(c, a_ub, b_ub, a_eq, b_eq, self._bounds())
         solution = self._extract(result.x)
         return LpOutcome(
@@ -215,10 +267,10 @@ class MultiCommodityLp:
         # extra row: -sum_k t_k <= -(T* - eps)
         extra = sparse.coo_matrix(
             (
-                [-1.0] * self.n_demands,
+                -np.ones(self.n_demands),
                 (
-                    [0] * self.n_demands,
-                    [self._t(k) for k in range(self.n_demands)],
+                    np.zeros(self.n_demands, dtype=np.int64),
+                    self.n_flow_vars + np.arange(self.n_demands, dtype=np.int64),
                 ),
             ),
             shape=(1, self.n_vars),
@@ -256,10 +308,11 @@ class MultiCommodityLp:
             shape=(a_eq_base.shape[0], n),
         )
         # pin every commodity at full demand: t_k = d_k
-        rows = list(range(self.n_demands))
-        cols = [self._t(k) for k in range(self.n_demands)]
-        vals = [1.0] * self.n_demands
-        pin = sparse.coo_matrix((vals, (rows, cols)), shape=(self.n_demands, n))
+        k = np.arange(self.n_demands, dtype=np.int64)
+        pin = sparse.coo_matrix(
+            (np.ones(self.n_demands), (k, self.n_flow_vars + k)),
+            shape=(self.n_demands, n),
+        )
         a_eq = sparse.vstack([a_eq_base, pin])
         b_eq = np.concatenate(
             [
@@ -310,16 +363,21 @@ class MultiCommodityLp:
             (a_eq_base.data, (a_eq_base.row, a_eq_base.col)),
             shape=(a_eq_base.shape[0], n),
         )
-        rows, cols, vals = [], [], []
-        for k, demand in enumerate(self.demands):
-            rows.append(k)
-            cols.append(self._t(k))
-            vals.append(1.0)
-            rows.append(k)
-            cols.append(lam)
-            vals.append(-demand.volume_gbps)
+        k = np.arange(self.n_demands, dtype=np.int64)
+        volumes = np.fromiter(
+            (d.volume_gbps for d in self.demands), dtype=float, count=self.n_demands
+        )
         tie = sparse.coo_matrix(
-            (vals, (rows, cols)), shape=(self.n_demands, n)
+            (
+                np.concatenate([np.ones(self.n_demands), -volumes]),
+                (
+                    np.concatenate([k, k]),
+                    np.concatenate(
+                        [self.n_flow_vars + k, np.full(self.n_demands, lam)]
+                    ),
+                ),
+            ),
+            shape=(self.n_demands, n),
         )
         a_eq = sparse.vstack([a_eq_base, tie])
         b_eq = np.zeros(a_eq.shape[0])

@@ -33,6 +33,7 @@ from repro.telemetry.stats import (
     threshold_episodes,
 )
 from repro.telemetry.dataset import BackboneConfig, BackboneDataset, CableSpec
+from repro.telemetry import cache
 from repro.telemetry.io import (
     load_summaries,
     load_traces,
@@ -42,6 +43,7 @@ from repro.telemetry.io import (
 from repro.telemetry.anomaly import DipAlert, EwmaDipDetector, detect_dips
 
 __all__ = [
+    "cache",
     "load_summaries",
     "load_traces",
     "save_summaries",

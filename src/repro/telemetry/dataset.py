@@ -9,22 +9,45 @@ Traces are generated *cable by cable* and reduced to
 :class:`~repro.telemetry.stats.LinkSummary` records immediately, so the
 full backbone never needs all raw traces in memory at once (a 2,000-link
 corpus would be ~1.4 GB of float64 samples).
+
+Two amortisation layers sit on top of the generator:
+
+* **parallel synthesis** — cables are independently seeded (the rng key
+  is ``(seed, crc32(name), offset)``, never shared state), so
+  :meth:`BackboneDataset.summaries` and
+  :meth:`BackboneDataset.iter_traces` accept a ``workers`` knob that
+  fans cable jobs out over a process pool with bit-identical results;
+* **an on-disk summary cache** (:mod:`repro.telemetry.cache`) —
+  summaries are content-addressed by config + modulation table + code
+  version, so repeat runs of benchmarks and examples skip synthesis
+  entirely.
 """
 
 from __future__ import annotations
 
+import functools
+import os
 import zlib
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterable, Iterator, TypeVar
 
 import numpy as np
 
+from repro import perf
 from repro.optics.fiber import FiberCable, LineSystem
 from repro.optics.modulation import DEFAULT_MODULATIONS, ModulationTable
+from repro.telemetry import cache as summary_cache
 from repro.telemetry.events import EventRates, EventSynthesizer, PAPER_EVENT_RATES
 from repro.telemetry.stats import LinkSummary, summarize_trace
 from repro.telemetry.timebase import Timebase
 from repro.telemetry.traces import NoiseModel, SnrTrace, synthesize_cable_traces
+
+_T = TypeVar("_T")
+
+#: Default worker count when ``workers=None`` (0/unset means serial).
+WORKERS_ENV = "REPRO_WORKERS"
 
 
 @dataclass(frozen=True)
@@ -109,6 +132,113 @@ class BackboneConfig:
         return cls(n_cables=n_cables, years=years, seed=seed)
 
 
+def _synthesize_cable(
+    config: BackboneConfig, spec: CableSpec, seed_offset: int = 0
+) -> list[SnrTrace]:
+    """Synthesize one cable's traces (module-level so workers can pickle it).
+
+    The rng is keyed on ``(config.seed, crc32(name), seed_offset)`` —
+    stable across processes (str ``hash()`` is salted, ``zlib.crc32`` is
+    not), so a pool worker produces exactly the bytes the serial path
+    would.
+    """
+    timebase = config.timebase()
+    name_key = zlib.crc32(spec.name.encode("utf-8"))
+    rng = np.random.default_rng((config.seed, name_key, seed_offset))
+    synth = EventSynthesizer(config.event_rates)
+    cable_events = synth.cable_events(timebase.duration_s, rng)
+    wavelength_events = {
+        idx: events
+        for idx in range(spec.n_wavelengths)
+        if (events := synth.wavelength_events(timebase.duration_s, rng))
+    }
+    return synthesize_cable_traces(
+        spec.name,
+        spec.baselines_db(),
+        timebase,
+        cable_events,
+        wavelength_events,
+        spec.noise,
+        rng,
+    )
+
+
+def _summarize_cable(
+    config: BackboneConfig, spec: CableSpec, table: ModulationTable
+) -> list[LinkSummary]:
+    """Synthesize + reduce one cable inside a worker.
+
+    Reducing in the worker keeps the parallel path's inter-process
+    traffic small: summaries are a few KB per cable, raw traces tens of
+    MB.
+    """
+    return [
+        summarize_trace(
+            trace,
+            table=table,
+            configured_capacity_gbps=config.configured_capacity_gbps,
+        )
+        for trace in _synthesize_cable(config, spec)
+    ]
+
+
+def _resolve_workers(workers: int | None) -> int:
+    """Normalise the ``workers`` knob: None defers to ``REPRO_WORKERS``."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "")
+        try:
+            workers = int(raw) if raw else 1
+        except ValueError:
+            workers = 1
+    return max(int(workers), 1)
+
+
+_process_pool_ok: bool | None = None
+
+
+def _process_pool_usable() -> bool:
+    """Probe once whether this host can run a ProcessPoolExecutor.
+
+    Sandboxes and exotic interpreters sometimes forbid forking; the
+    fallback is a thread pool, which preserves determinism (cables carry
+    their own rng) and still overlaps the release-the-GIL numpy/scipy
+    sections.
+    """
+    global _process_pool_ok
+    if _process_pool_ok is None:
+        try:
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                _process_pool_ok = pool.submit(int, 1).result(timeout=60) == 1
+        except Exception:
+            _process_pool_ok = False
+    return _process_pool_ok
+
+
+def _make_pool(workers: int) -> Executor:
+    if _process_pool_usable():
+        return ProcessPoolExecutor(max_workers=workers)
+    return ThreadPoolExecutor(max_workers=workers)
+
+
+def _pool_map(
+    fn: Callable[[CableSpec], _T], specs: Iterable[CableSpec], workers: int
+) -> Iterator[_T]:
+    """Map ``fn`` over cables on a pool, yielding results in input order.
+
+    In-flight work is bounded (``workers + 2`` outstanding futures) so a
+    trace-streaming consumer keeps the dataset's bounded-memory
+    guarantee even when producers run ahead.
+    """
+    with _make_pool(workers) as pool:
+        pending: deque = deque()
+        for spec in specs:
+            pending.append(pool.submit(fn, spec))
+            if len(pending) > workers + 2:
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()
+
+
 class BackboneDataset:
     """Deterministic synthetic backbone: cable specs, traces, summaries."""
 
@@ -176,48 +306,74 @@ class BackboneDataset:
 
     def cable_traces(self, spec: CableSpec, *, seed_offset: int = 0) -> list[SnrTrace]:
         """Synthesize the SNR traces of one cable."""
-        cfg = self.config
-        timebase = cfg.timebase()
-        # zlib.crc32 is stable across processes (str hash() is salted)
-        name_key = zlib.crc32(spec.name.encode("utf-8"))
-        rng = np.random.default_rng((cfg.seed, name_key, seed_offset))
-        synth = EventSynthesizer(cfg.event_rates)
-        cable_events = synth.cable_events(timebase.duration_s, rng)
-        wavelength_events = {
-            idx: events
-            for idx in range(spec.n_wavelengths)
-            if (events := synth.wavelength_events(timebase.duration_s, rng))
-        }
-        return synthesize_cable_traces(
-            spec.name,
-            spec.baselines_db(),
-            timebase,
-            cable_events,
-            wavelength_events,
-            spec.noise,
-            rng,
-        )
+        return _synthesize_cable(self.config, spec, seed_offset)
 
-    def iter_traces(self) -> Iterator[SnrTrace]:
-        """All traces, one cable at a time (bounded memory)."""
-        for spec in self.cable_specs():
-            yield from self.cable_traces(spec)
+    def _map_cables(
+        self, fn: Callable[[CableSpec], _T], workers: int
+    ) -> Iterator[_T]:
+        """The single cable traversal every corpus-level API goes through.
+
+        Serial when ``workers <= 1``; otherwise cable jobs fan out over a
+        pool, results arriving in cable order either way.
+        """
+        specs = self.cable_specs()
+        if workers <= 1 or len(specs) <= 1:
+            for spec in specs:
+                yield fn(spec)
+        else:
+            yield from _pool_map(fn, specs, workers)
+
+    def iter_traces(self, *, workers: int | None = None) -> Iterator[SnrTrace]:
+        """All traces, one cable at a time (bounded memory).
+
+        ``workers`` > 1 synthesises cables on a process pool (thread
+        fallback); ordering and content are identical to serial.
+        """
+        fn = functools.partial(_synthesize_cable, self.config)
+        for cable in self._map_cables(fn, _resolve_workers(workers)):
+            yield from cable
 
     def summaries(
-        self, *, table: ModulationTable = DEFAULT_MODULATIONS
+        self,
+        *,
+        table: ModulationTable = DEFAULT_MODULATIONS,
+        workers: int | None = None,
+        cache: bool | None = None,
     ) -> list[LinkSummary]:
-        """Per-link summary statistics for the whole backbone."""
+        """Per-link summary statistics for the whole backbone.
+
+        Args:
+            table: modulation ladder for feasibility/failure thresholds.
+            workers: cable-level parallelism; ``None`` defers to the
+                ``REPRO_WORKERS`` env var (default serial).  Results are
+                bit-identical regardless of the worker count.
+            cache: force the on-disk summary cache on/off; ``None``
+                defers to ``REPRO_NO_CACHE`` (default on).  Keys include
+                the config, the table and a synthesis-code fingerprint,
+                so stale reads are impossible.
+        """
         cfg = self.config
-        out = []
-        for spec in self.cable_specs():
-            for trace in self.cable_traces(spec):
-                out.append(
-                    summarize_trace(
-                        trace,
-                        table=table,
-                        configured_capacity_gbps=cfg.configured_capacity_gbps,
-                    )
-                )
+        n_workers = _resolve_workers(workers)
+        use_cache = summary_cache.cache_enabled(cache)
+        key = None
+        if use_cache:
+            key = summary_cache.dataset_key(cfg, table)
+            cached = summary_cache.load(key)
+            if cached is not None:
+                perf.event("synthesis.cache_hit")
+                return cached
+            perf.event("synthesis.cache_miss")
+        fn = functools.partial(_summarize_cable, cfg, table=table)
+        with perf.timer(
+            "synthesis.summaries", workers=n_workers, n_cables=cfg.n_cables
+        ):
+            out = [
+                summary
+                for cable in self._map_cables(fn, n_workers)
+                for summary in cable
+            ]
+        if use_cache and key is not None:
+            summary_cache.store(key, out)
         return out
 
 

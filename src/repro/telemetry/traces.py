@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy.signal import lfilter
 
 from repro.optics.impairments import Impairment, ImpairmentScope
 from repro.telemetry.timebase import Timebase
@@ -100,11 +101,14 @@ def _ar1_noise(
     """
     if sigma == 0.0:
         return np.zeros((n_series, n_samples))
-    from scipy.signal import lfilter
-
-    scale = np.sqrt(1.0 - rho * rho)
     innovations = rng.standard_normal((n_series, n_samples))
     y_prev = rng.standard_normal(n_series)  # stationary (unit-variance) start
+    if rho == 0.0:
+        # white noise: the filter is the identity (y_prev only feeds the
+        # zero-weight initial state, but must still be drawn so the rng
+        # stream stays identical to the filtered path)
+        return sigma * innovations
+    scale = np.sqrt(1.0 - rho * rho)
     zi = (rho * y_prev)[:, None]
     out, _ = lfilter([scale], [1.0, -rho], innovations, axis=1, zi=zi)
     return sigma * out

@@ -1,0 +1,16 @@
+"""Suite-wide fixtures.
+
+The summary cache is redirected into a session-scoped temp directory so
+tests exercise the caching layer without touching the developer's real
+``~/.cache/repro`` (an explicit ``REPRO_CACHE_DIR`` still wins).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_summary_cache(tmp_path_factory):
+    if "REPRO_CACHE_DIR" not in os.environ:
+        os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("summary-cache"))

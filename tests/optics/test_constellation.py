@@ -1,6 +1,5 @@
 """Tests for constellation geometry and AWGN sampling."""
 
-import math
 
 import numpy as np
 import pytest

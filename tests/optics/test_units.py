@@ -1,6 +1,5 @@
 """Unit tests for dB/linear conversions."""
 
-import math
 
 import numpy as np
 import pytest

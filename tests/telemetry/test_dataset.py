@@ -9,7 +9,6 @@ from repro.telemetry.dataset import (
     CableSpec,
     high_quality_cable_spec,
 )
-from repro.telemetry.traces import NoiseModel
 
 
 @pytest.fixture(scope="module")
@@ -99,6 +98,51 @@ class TestBackboneDataset:
         tb = BackboneConfig().timebase()
         assert tb.interval_s == 900.0
         assert 87_000 < tb.n_samples < 88_000
+
+
+class TestParallelSynthesis:
+    """workers=N must be bit-identical to serial, whatever the pool type."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return BackboneDataset(BackboneConfig.small())
+
+    def test_summaries_bit_identical(self, dataset, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        serial = dataset.summaries(workers=1, cache=False)
+        parallel = dataset.summaries(workers=4, cache=False)
+        assert parallel == serial
+
+    def test_iter_traces_bit_identical(self):
+        dataset = BackboneDataset(BackboneConfig.small(years=0.05, n_cables=3))
+        serial = list(dataset.iter_traces(workers=1))
+        parallel = list(dataset.iter_traces(workers=3))
+        assert len(parallel) == len(serial)
+        for s, p in zip(serial, parallel):
+            assert p.link_id == s.link_id
+            assert p.events == s.events
+            np.testing.assert_array_equal(p.snr_db, s.snr_db)
+
+    def test_thread_pool_fallback_bit_identical(self, monkeypatch):
+        from repro.telemetry import dataset as dataset_mod
+
+        monkeypatch.setattr(dataset_mod, "_process_pool_ok", False)
+        dataset = BackboneDataset(BackboneConfig.small(years=0.05, n_cables=3))
+        serial = dataset.summaries(workers=1, cache=False)
+        threaded = dataset.summaries(workers=3, cache=False)
+        assert threaded == serial
+
+    def test_workers_env_var(self, monkeypatch):
+        from repro.telemetry.dataset import _resolve_workers
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert _resolve_workers(None) == 1
+        assert _resolve_workers(3) == 3
+        assert _resolve_workers(0) == 1
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert _resolve_workers(None) == 5
+        monkeypatch.setenv("REPRO_WORKERS", "junk")
+        assert _resolve_workers(None) == 1
 
 
 class TestHighQualityCable:

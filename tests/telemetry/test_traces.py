@@ -107,6 +107,33 @@ class TestBaselineAndNoise:
         rho_hat = np.dot(x[:-1], x[1:]) / np.dot(x, x)
         assert rho_hat == pytest.approx(0.9, abs=0.03)
 
+    def test_white_noise_fast_path_matches_filter(self):
+        # rho == 0 takes a pure-numpy shortcut; it must produce exactly
+        # what the IIR filter would, including the rng draw order
+        from repro.telemetry.traces import _ar1_noise
+        from scipy.signal import lfilter
+
+        rng_fast = np.random.default_rng(42)
+        fast = _ar1_noise(500, 3, 0.3, 0.0, rng_fast)
+
+        rng_ref = np.random.default_rng(42)
+        innovations = rng_ref.standard_normal((3, 500))
+        y_prev = rng_ref.standard_normal(3)
+        zi = (0.0 * y_prev)[:, None]
+        ref, _ = lfilter([1.0], [1.0, -0.0], innovations, axis=1, zi=zi)
+        np.testing.assert_allclose(fast, 0.3 * ref, rtol=0, atol=0)
+
+        # the rng stream must advance identically on both paths
+        assert rng_fast.standard_normal() == rng_ref.standard_normal()
+
+    def test_white_noise_variance(self):
+        rng = np.random.default_rng(0)
+        from repro.telemetry.traces import _ar1_noise
+
+        out = _ar1_noise(20_000, 2, 0.5, 0.0, rng)
+        assert out.shape == (2, 20_000)
+        assert np.std(out) == pytest.approx(0.5, abs=0.02)
+
 
 class TestEvents:
     def test_cable_event_hits_all_wavelengths(self, timebase):

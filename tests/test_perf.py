@@ -1,0 +1,104 @@
+"""Tests for the repro.perf timing instrumentation."""
+
+import json
+
+import pytest
+
+from repro.perf import SCHEMA_VERSION, PerfRegistry
+
+
+@pytest.fixture()
+def registry():
+    return PerfRegistry()
+
+
+class TestTimers:
+    def test_timer_records_elapsed(self, registry):
+        with registry.timer("work"):
+            pass
+        stat = registry.timer_stat("work")
+        assert stat.count == 1
+        assert stat.total_s >= 0.0
+
+    def test_timer_records_on_exception(self, registry):
+        with pytest.raises(RuntimeError):
+            with registry.timer("work"):
+                raise RuntimeError("boom")
+        assert registry.timer_stat("work").count == 1
+
+    def test_aggregation(self, registry):
+        registry.record("work", 1.0)
+        registry.record("work", 3.0)
+        stat = registry.timer_stat("work")
+        assert stat.count == 2
+        assert stat.total_s == pytest.approx(4.0)
+        assert stat.mean_s == pytest.approx(2.0)
+        assert stat.min_s == pytest.approx(1.0)
+        assert stat.max_s == pytest.approx(3.0)
+
+    def test_meta_keeps_latest(self, registry):
+        registry.record("work", 1.0, workers=1)
+        registry.record("work", 1.0, workers=8)
+        assert registry.timer_stat("work").meta == {"workers": 8}
+
+    def test_negative_elapsed_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.record("work", -1.0)
+
+    def test_unknown_timer_is_none(self, registry):
+        assert registry.timer_stat("nope") is None
+
+
+class TestEvents:
+    def test_counts_accumulate(self, registry):
+        registry.event("cache.hit")
+        registry.event("cache.hit", 2)
+        assert registry.event_count("cache.hit") == 3
+
+    def test_unknown_event_is_zero(self, registry):
+        assert registry.event_count("nope") == 0
+
+
+class TestCollect:
+    def test_schema(self, registry):
+        registry.record("a", 0.5, workers=2)
+        registry.event("hit")
+        report = registry.collect(extra={"note": "x"})
+        assert report["schema"] == SCHEMA_VERSION
+        assert "generated_unix" in report
+        assert report["timers"]["a"]["count"] == 1
+        assert report["timers"]["a"]["meta"] == {"workers": 2}
+        assert report["events"] == {"hit": 1}
+        assert report["extra"] == {"note": "x"}
+
+    def test_reset(self, registry):
+        registry.record("a", 0.5)
+        registry.event("hit")
+        registry.reset()
+        report = registry.collect()
+        assert report["timers"] == {}
+        assert report["events"] == {}
+
+    def test_write_bench_round_trips(self, registry, tmp_path):
+        registry.record("a", 0.25)
+        path = registry.write_bench(tmp_path / "BENCH.json")
+        payload = json.loads(path.read_text())
+        assert payload["timers"]["a"]["total_s"] == pytest.approx(0.25)
+
+    def test_report_is_json_serializable(self, registry):
+        with registry.timer("a", cached=True):
+            pass
+        json.dumps(registry.collect())
+
+
+class TestModuleLevelRegistry:
+    def test_default_registry_functions(self):
+        from repro import perf
+
+        perf.reset()
+        with perf.timer("module.level"):
+            pass
+        perf.event("module.event")
+        assert perf.timer_stat("module.level").count == 1
+        assert perf.event_count("module.event") == 1
+        perf.reset()

@@ -10,7 +10,7 @@ from repro.tickets.analysis import (
     opportunity_area,
     shares_by_cause,
 )
-from repro.tickets.generator import TicketConfig, TicketGenerator
+from repro.tickets.generator import TicketGenerator
 from repro.tickets.model import Ticket
 
 
