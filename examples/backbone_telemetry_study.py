@@ -1,63 +1,25 @@
 #!/usr/bin/env python
 """The Section-2 measurement study on the synthetic backbone.
 
-Generates the telemetry corpus (a scaled-down default; pass --full for
-the paper-scale 2,000-link 2.5-year study) and prints the headline
-numbers next to the paper's: HDR width, SNR range, feasible capacities,
-aggregate capacity gain, and the rescuable-failure fraction.
+A thin wrapper over the registered ``study`` experiment
+(:mod:`repro.experiments`): the same code path the CLI and the sweep
+runner execute, so the numbers printed here are exactly what a sweep
+artifact would store.  Pass ``--full`` for the paper-scale 2,000-link
+2.5-year corpus.
 
 Run:  python examples/backbone_telemetry_study.py [--full]
 """
 
 import sys
 
-import numpy as np
-
-from repro.analysis import figures, render_cdf
-from repro.telemetry import BackboneConfig, BackboneDataset
+from repro.experiments import ScenarioSpec, render_result, run_spec
 
 
 def main(full: bool = False) -> None:
-    config = (
-        BackboneConfig()  # 55 cables, 2.5 years: the paper's scale
-        if full
-        else BackboneConfig(n_cables=14, years=1.0, seed=2017)
-    )
-    dataset = BackboneDataset(config)
-    print(
-        f"synthesising {dataset.n_links()} links x {config.years} years "
-        f"({config.timebase().n_samples} samples each)..."
-    )
-    summaries = dataset.summaries()
-
-    fig2a = figures.fig2a_snr_variation(summaries)
-    print("\n-- Figure 2a: SNR variation --")
-    print(render_cdf("HDR(95%) width", fig2a.hdr_widths_db,
-                     points=[1.0, 2.0, 4.0], unit=" dB"))
-    print(
-        f"HDR < 2 dB for {100.0 * fig2a.frac_hdr_below_2db:.0f}% of links "
-        f"(paper: 83%)"
-    )
-    print(f"mean SNR range: {fig2a.mean_range_db:.1f} dB (paper: ~12 dB)")
-
-    fig2b = figures.fig2b_feasible_capacity(summaries)
-    print("\n-- Figure 2b: feasible capacity --")
-    for capacity in (125.0, 150.0, 175.0, 200.0):
-        frac = float(np.mean(fig2b.feasible_gbps >= capacity))
-        print(f"  >= {capacity:3.0f} Gbps: {100.0 * frac:5.1f}% of links")
-    print(
-        f"aggregate headroom: {fig2b.total_gain_tbps:.1f} Tbps over "
-        f"{len(summaries)} links (paper: 145 Tbps over >2,000)"
-    )
-
-    fig4c = figures.fig4c_failure_snr(summaries)
-    print("\n-- Figure 4c: lowest SNR at 100G failures --")
-    print(render_cdf("failure min SNR", fig4c.min_snrs_db,
-                     points=[0.0, 3.0, 6.0], unit=" dB"))
-    print(
-        f"rescuable at 50 Gbps (min SNR >= 3 dB): "
-        f"{100.0 * fig4c.frac_at_least_3db:.0f}% of failures (paper: ~25%)"
-    )
+    params = {"cables": 55, "years": 2.5} if full else {}
+    spec = ScenarioSpec.create("example/study", "study", **params)
+    result = run_spec(spec)
+    print(render_result("study", result))
 
 
 if __name__ == "__main__":

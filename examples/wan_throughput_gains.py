@@ -1,67 +1,30 @@
 #!/usr/bin/env python
 """Throughput gains from SNR-adaptive capacities on a continental WAN.
 
-Assigns each wavelength of a 21-node US-backbone-like topology an SNR
-drawn from the synthetic telemetry study (the HDR lower bound, exactly
-the paper's feasibility rule), then sweeps demand scale and compares
-the TE throughput of the static 100 Gbps network against the
-dynamically-augmented one.
+A thin wrapper over the registered ``throughput`` experiment
+(:mod:`repro.experiments`): sweeps demand scale on the 21-node
+US-backbone-like topology and compares the TE throughput of the static
+100 Gbps network against the dynamically-augmented one — the same code
+path as ``repro throughput`` and the sweep runner.
 
 Run:  python examples/wan_throughput_gains.py
 """
 
-import numpy as np
-
-from repro.analysis import render_series
-from repro.net import gravity_demands, us_backbone_like
-from repro.sim import simulate_throughput_gains
-from repro.telemetry import BackboneConfig, BackboneDataset
-
-
-def snr_assignment(topology, seed: int = 7) -> dict[str, float]:
-    """Give each duplex wavelength an HDR-lower-bound SNR from telemetry."""
-    dataset = BackboneDataset(BackboneConfig(n_cables=8, years=0.5, seed=seed))
-    hdr_lows = [s.hdr.low for s in dataset.summaries()]
-    rng = np.random.default_rng(seed)
-    snrs: dict[str, float] = {}
-    for link in topology.real_links():
-        # both directions of a fiber pair share one optical path
-        reverse = topology.links_between(link.dst, link.src)
-        if reverse and reverse[0].link_id in snrs:
-            snrs[link.link_id] = snrs[reverse[0].link_id]
-        else:
-            snrs[link.link_id] = float(rng.choice(hdr_lows))
-    return snrs
+from repro.experiments import ScenarioSpec, render_result, run_spec
 
 
 def main() -> None:
-    topology = us_backbone_like()
-    demands = gravity_demands(topology, 6000.0, np.random.default_rng(1))
-    snrs = snr_assignment(topology)
-
-    points = simulate_throughput_gains(
-        topology,
-        demands,
-        snrs,
-        demand_scales=(0.25, 0.5, 1.0, 1.5, 2.0, 3.0),
+    spec = ScenarioSpec.create(
+        "example/throughput",
+        "throughput",
+        scales=[0.25, 0.5, 1.0, 1.5, 2.0, 3.0],
     )
-    rows = [
-        (p.demand_scale, p.offered_gbps, p.static_gbps, p.dynamic_gbps,
-         p.gain_ratio)
-        for p in points
-    ]
+    result = run_spec(spec)
+    print(render_result("throughput", result))
+    saturated = result["points"][-1]
     print(
-        render_series(
-            "static vs dynamic TE throughput (Gbps)",
-            rows,
-            header=["scale", "offered", "static", "dynamic", "gain x"],
-        )
-    )
-    saturated = points[-1]
-    print(
-        f"\nat {saturated.demand_scale:.0f}x demand the dynamic network "
-        f"carries {saturated.gain_ratio:.2f}x the static throughput "
-        f"(+{saturated.gain_gbps:.0f} Gbps)"
+        f"\nat {saturated['scale']:.0f}x demand the dynamic network "
+        f"carries {saturated['gain_ratio']:.2f}x the static throughput"
     )
 
 

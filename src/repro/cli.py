@@ -1,121 +1,124 @@
 """Command-line interface: ``python -m repro <command>`` or ``repro``.
 
-Subcommands mirror the example scripts so the headline experiments are
-one shell command away:
+Experiment subcommands are thin wrappers over the experiment registry
+(:mod:`repro.experiments`): each one builds a
+:class:`~repro.experiments.ScenarioSpec` from its flags, executes it
+with :func:`~repro.experiments.run_spec` and prints the experiment's
+canonical rendering — exactly what a sweep artifact would replay:
 
 * ``study``        — the Section-2 telemetry study (Figures 2a/2b/4c);
 * ``testbed``      — the BVT modulation-change experiment (Figure 6b);
 * ``tickets``      — root-cause shares of the ticket corpus (Figure 4a/4b);
 * ``throughput``   — static vs. dynamic TE sweep;
 * ``availability`` — binary failures vs. dynamic flaps;
-* ``theorem``      — the Theorem-1 equivalence check on a random WAN.
+* ``theorem``      — the Theorem-1 equivalence check on a random WAN;
+* ``reactive``     — reaction-lag replay (scheduled/reactive/proactive).
 
-Performance knobs (see the README's Performance section): telemetry
-subcommands accept ``--workers N`` (parallel cable synthesis; also the
-``REPRO_WORKERS`` env var) and ``--no-cache`` (skip the on-disk summary
-cache under ``REPRO_CACHE_DIR``/~/.cache/repro).  The global
-``--bench-json PATH`` flag writes the run's timing report
-(:mod:`repro.perf`) to a machine-readable JSON file.
+``sweep`` drives grids of those experiments::
+
+    repro sweep run examples/sweeps/quick.toml   # execute (or resume)
+    repro sweep list                             # runs under the sweep root
+    repro sweep show quick-1a2b3c4d              # re-render stored artifacts
+    repro sweep resume quick-1a2b3c4d            # finish a killed run
+    repro sweep compare RUN [RUN_B]              # vs paper, or run vs run
+
+Global flags (``--workers``, ``--no-cache``, ``--bench-json``) are
+accepted both before and after the subcommand.  ``--workers N`` spreads
+work over N processes (also the ``REPRO_WORKERS`` env var);
+``--no-cache`` bypasses the on-disk summary cache (``REPRO_CACHE_DIR``);
+``--bench-json PATH`` writes the run's timing report (:mod:`repro.perf`)
+to a machine-readable JSON file.  Sweep runs live under
+``REPRO_SWEEP_DIR`` (default ``~/.cache/repro/sweeps``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
-import numpy as np
+
+def _version() -> str:
+    """Package version — installed metadata, else the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
+
+def _context(args: argparse.Namespace) -> "Any":
+    from repro.experiments import ExecutionContext
+
+    return ExecutionContext(workers=args.workers, cache=not args.no_cache)
+
+
+def _run_and_render(args: argparse.Namespace, name: str, **params: Any) -> int:
+    """The shared experiment-subcommand body: spec -> run -> print."""
+    from repro.experiments import ScenarioSpec, render_result, run_spec
+
+    spec = ScenarioSpec.create(f"cli/{name}", name, **params)
+    result = run_spec(spec, _context(args))
+    print(render_result(name, result))
+    return 0
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
-    from repro.analysis import figures, render_cdf
-    from repro.telemetry import BackboneConfig, BackboneDataset
-
-    config = BackboneConfig(n_cables=args.cables, years=args.years, seed=args.seed)
-    dataset = BackboneDataset(config)
-    print(f"synthesising {dataset.n_links()} links x {config.years} years...")
-    summaries = dataset.summaries(workers=args.workers, cache=not args.no_cache)
-
-    fig2a = figures.fig2a_snr_variation(summaries)
-    fig2b = figures.fig2b_feasible_capacity(summaries)
-    print(render_cdf("HDR(95%) width", fig2a.hdr_widths_db,
-                     points=[1.0, 2.0, 4.0], unit=" dB"))
-    print(f"HDR < 2 dB: {100.0 * fig2a.frac_hdr_below_2db:.1f}% (paper: 83%)")
-    print(f"mean range: {fig2a.mean_range_db:.1f} dB")
-    print(f">=175 Gbps feasible: {100.0 * fig2b.frac_at_least_175:.1f}% "
-          f"(paper: 80%)")
-    print(f"aggregate headroom: {fig2b.total_gain_tbps:.1f} Tbps")
-    try:
-        fig4c = figures.fig4c_failure_snr(summaries)
-    except ValueError:
-        print("rescuable failures: no failures in this (small) corpus")
-    else:
-        print(f"rescuable failures: {100.0 * fig4c.frac_at_least_3db:.1f}% "
-              f"(paper: ~25%)")
-    return 0
+    return _run_and_render(
+        args, "study", cables=args.cables, years=args.years, seed=args.seed
+    )
 
 
 def _cmd_testbed(args: argparse.Namespace) -> int:
-    from repro.bvt import Testbed
-
-    report = Testbed(seed=args.seed).run_figure6_experiment(args.changes)
-    print(f"{args.changes} modulation changes per procedure")
-    print(f"standard:  mean {report.standard_mean_s:.1f} s (paper: 68 s)")
-    print(f"efficient: mean {1000.0 * report.efficient_mean_s:.1f} ms "
-          f"(paper: 35 ms)")
-    print(f"speedup: {report.speedup:,.0f}x")
-    return 0
+    return _run_and_render(args, "testbed", changes=args.changes, seed=args.seed)
 
 
 def _cmd_tickets(args: argparse.Namespace) -> int:
-    from repro.analysis import render_shares
-    from repro.tickets import TicketGenerator, opportunity_area, shares_by_cause
-
-    corpus = TicketGenerator().generate(np.random.default_rng(args.seed))
-    shares = shares_by_cause(corpus)
-    print(render_shares("share of outage duration (Fig 4a)", dict(shares.duration)))
-    print(render_shares("share of events (Fig 4b)", dict(shares.frequency)))
-    area = opportunity_area(corpus)
-    print(f"opportunity area: {100.0 * area.opportunity_frequency:.1f}% of events")
-    return 0
+    return _run_and_render(args, "tickets", seed=args.seed)
 
 
 def _cmd_throughput(args: argparse.Namespace) -> int:
-    from repro.analysis import render_series
-    from repro.net import gravity_demands, us_backbone_like
-    from repro.sim import simulate_throughput_gains
-
-    topology = us_backbone_like()
-    demands = gravity_demands(
-        topology, args.offered_gbps, np.random.default_rng(args.seed)
+    return _run_and_render(
+        args,
+        "throughput",
+        offered_gbps=args.offered_gbps,
+        snr_db=args.snr_db,
+        scales=tuple(args.scales),
+        seed=args.seed,
     )
-    snrs = {l.link_id: args.snr_db for l in topology.real_links()}
-    points = simulate_throughput_gains(
-        topology, demands, snrs, demand_scales=tuple(args.scales)
-    )
-    rows = [
-        (p.demand_scale, p.static_gbps, p.dynamic_gbps, p.gain_ratio)
-        for p in points
-    ]
-    print(render_series("static vs dynamic TE throughput", rows,
-                        header=["scale", "static", "dynamic", "gain x"]))
-    return 0
 
 
 def _cmd_availability(args: argparse.Namespace) -> int:
-    from repro.sim import availability_report
-    from repro.telemetry import BackboneConfig, BackboneDataset
-
-    dataset = BackboneDataset(
-        BackboneConfig(n_cables=args.cables, years=args.years, seed=args.seed)
+    return _run_and_render(
+        args, "availability", cables=args.cables, years=args.years, seed=args.seed
     )
-    report = availability_report(dataset.iter_traces(workers=args.workers))
-    print(f"links: {report.n_links}")
-    print(f"binary failures: {report.n_binary_failures}")
-    print(f"avoided (flaps): {report.n_avoided} "
-          f"({100.0 * report.avoided_fraction:.1f}%; paper: ~25%)")
-    print(f"downtime saved: {report.total_downtime_saved_h:.0f} h")
-    return 0
+
+
+def _cmd_theorem(args: argparse.Namespace) -> int:
+    from repro.experiments import ScenarioSpec, render_result, run_spec
+
+    spec = ScenarioSpec.create(
+        "cli/theorem", "theorem",
+        nodes=args.nodes, penalty=args.penalty, seed=args.seed,
+    )
+    result = run_spec(spec, _context(args))
+    print(render_result("theorem", result))
+    return 0 if result["holds"] else 1
+
+
+def _cmd_reactive(args: argparse.Namespace) -> int:
+    return _run_and_render(
+        args,
+        "reactive",
+        days=args.days,
+        mode=args.mode,
+        policy=args.policy,
+        seed=args.seed,
+        te_interval_h=args.te_interval_h,
+    )
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -154,36 +157,126 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_theorem(args: argparse.Namespace) -> int:
-    from repro.core import ConstantPenalty, check_theorem1
-    from repro.net import random_wan
+# ---------------------------------------------------------------------------
+# sweep verbs
+# ---------------------------------------------------------------------------
 
-    rng = np.random.default_rng(args.seed)
-    topology = random_wan(args.nodes, rng)
-    for link in list(topology.links):
-        if rng.random() < 0.5:
-            topology.replace_link(link.link_id, headroom_gbps=100.0)
-    nodes = topology.nodes
-    report = check_theorem1(
-        topology, nodes[0], nodes[-1],
-        penalty_policy=ConstantPenalty(args.penalty),
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from repro.experiments import load_sweep, run_sweep
+
+    sweep = load_sweep(args.specfile)
+    report = run_sweep(
+        sweep,
+        args.out or None,
+        workers=args.workers,
+        context=_context(args),
+        max_runs=args.max_runs,
+        progress=print,
     )
-    print(f"max-flow(G at full capacity) = {report.maxflow_on_full_g:.1f} Gbps")
-    print(f"min-cost max-flow(G')        = {report.mcmf_on_augmented:.1f} Gbps")
-    print(f"static max-flow(G)           = {report.maxflow_on_static_g:.1f} Gbps")
-    print(f"Theorem 1 holds: {report.holds}")
-    return 0 if report.holds else 1
+    return _sweep_summary(report)
 
 
-def _add_perf_args(sub_parser: argparse.ArgumentParser) -> None:
-    """Synthesis performance knobs shared by the telemetry subcommands."""
-    sub_parser.add_argument(
-        "--workers", type=int, default=None, metavar="N",
-        help="parallel cable synthesis (default: REPRO_WORKERS or serial)",
+def _cmd_sweep_resume(args: argparse.Namespace) -> int:
+    from repro.experiments import resolve_run_dir, resume_sweep
+
+    report = resume_sweep(
+        resolve_run_dir(args.run),
+        workers=args.workers,
+        context=_context(args),
+        max_runs=args.max_runs,
+        progress=print,
     )
-    sub_parser.add_argument(
-        "--no-cache", action="store_true",
+    return _sweep_summary(report)
+
+
+def _sweep_summary(report: "Any") -> int:
+    print(
+        f"run dir: {report.run_dir}\n"
+        f"{report.n_fresh} fresh, {report.n_reused} reused, "
+        f"{report.n_failed} failed, {len(report.pending)} pending"
+    )
+    return 0 if report.complete else 1
+
+
+def _cmd_sweep_list(args: argparse.Namespace) -> int:
+    from repro.experiments import list_runs
+
+    runs = list_runs()
+    if not runs:
+        print("no sweep runs (see REPRO_SWEEP_DIR)")
+        return 0
+    print(f"{'run':<40} {'experiment':<14} {'points':>6} {'done':>5}")
+    for run in runs:
+        print(
+            f"{run['run']:<40} {run['experiment']:<14} "
+            f"{run['n_points']:>6} {run['n_artifacts']:>5}"
+        )
+    return 0
+
+
+def _cmd_sweep_show(args: argparse.Namespace) -> int:
+    from repro.experiments import RunStore, render_result, resolve_run_dir
+
+    store = RunStore(resolve_run_dir(args.run))
+    sweep = store.load_sweep()
+    artifacts = store.artifacts()
+    print(
+        f"sweep {sweep.name!r} (experiment {sweep.experiment!r}): "
+        f"{len(artifacts)}/{sweep.n_points} points done"
+    )
+    for artifact in artifacts:
+        print(f"\n== {artifact['spec']['name']} ({artifact['key'][:12]}) ==")
+        print(render_result(artifact["experiment"], artifact["result"]))
+    return 0
+
+
+def _cmd_sweep_compare(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        compare_runs,
+        compare_to_paper,
+        render_deltas,
+        render_paper_checks,
+        resolve_run_dir,
+    )
+
+    run_a = resolve_run_dir(args.run_a)
+    if args.run_b is None:
+        checks = compare_to_paper(run_a)
+        print(render_paper_checks(checks))
+        return 0 if checks and all(c.ok for c in checks) else 1
+    deltas = compare_runs(run_a, resolve_run_dir(args.run_b), rtol=args.rtol)
+    print(render_deltas(deltas))
+    return 0 if deltas and all(d.ok for d in deltas) else 1
+
+
+# ---------------------------------------------------------------------------
+# parser assembly
+# ---------------------------------------------------------------------------
+
+
+def _global_flags(parser: argparse.ArgumentParser, *, suppress: bool) -> None:
+    """Install the global flags on a parser.
+
+    The root parser gets them with real defaults; every subcommand gets
+    the same flags via a parent parser with ``default=SUPPRESS`` so a
+    flag given *after* the subcommand overrides the root value instead
+    of a subparser default silently clobbering it.
+    """
+    def default(value: Any) -> Any:
+        return argparse.SUPPRESS if suppress else value
+
+    parser.add_argument(
+        "--workers", type=int, metavar="N", default=default(None),
+        help="parallel workers (default: REPRO_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", default=default(False),
         help="bypass the on-disk summary cache (see REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--bench-json", type=str, metavar="PATH", default=default(""),
+        help="write the run's timing report (repro.perf) to PATH",
     )
 
 
@@ -195,29 +288,37 @@ def build_parser() -> argparse.ArgumentParser:
             "Capacities' (HotNets 2017)"
         ),
     )
-    parser.add_argument(
-        "--bench-json", type=str, default="", metavar="PATH",
-        help="write the run's timing report (repro.perf) to PATH",
-    )
+    parser.add_argument("--version", action="version", version=f"repro {_version()}")
+    _global_flags(parser, suppress=False)
+    shared = argparse.ArgumentParser(add_help=False)
+    _global_flags(shared, suppress=True)
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    study = sub.add_parser("study", help="Section-2 telemetry study")
+    study = sub.add_parser(
+        "study", parents=[shared], help="Section-2 telemetry study"
+    )
     study.add_argument("--cables", type=int, default=14)
     study.add_argument("--years", type=float, default=1.0)
     study.add_argument("--seed", type=int, default=2017)
-    _add_perf_args(study)
     study.set_defaults(handler=_cmd_study)
 
-    testbed = sub.add_parser("testbed", help="Figure-6b BVT experiment")
+    testbed = sub.add_parser(
+        "testbed", parents=[shared], help="Figure-6b BVT experiment"
+    )
     testbed.add_argument("--changes", type=int, default=200)
     testbed.add_argument("--seed", type=int, default=68)
     testbed.set_defaults(handler=_cmd_testbed)
 
-    tickets = sub.add_parser("tickets", help="Figure-4 root-cause shares")
+    tickets = sub.add_parser(
+        "tickets", parents=[shared], help="Figure-4 root-cause shares"
+    )
     tickets.add_argument("--seed", type=int, default=2017)
     tickets.set_defaults(handler=_cmd_tickets)
 
-    throughput = sub.add_parser("throughput", help="static vs dynamic TE sweep")
+    throughput = sub.add_parser(
+        "throughput", parents=[shared], help="static vs dynamic TE sweep"
+    )
     throughput.add_argument("--offered-gbps", type=float, default=6000.0)
     throughput.add_argument("--snr-db", type=float, default=16.0)
     throughput.add_argument("--scales", type=float, nargs="+",
@@ -225,25 +326,46 @@ def build_parser() -> argparse.ArgumentParser:
     throughput.add_argument("--seed", type=int, default=1)
     throughput.set_defaults(handler=_cmd_throughput)
 
-    availability = sub.add_parser("availability", help="failures vs flaps")
+    availability = sub.add_parser(
+        "availability", parents=[shared], help="failures vs flaps"
+    )
     availability.add_argument("--cables", type=int, default=10)
     availability.add_argument("--years", type=float, default=1.0)
     availability.add_argument("--seed", type=int, default=42)
-    availability.add_argument(
-        "--workers", type=int, default=None, metavar="N",
-        help="parallel cable synthesis (default: REPRO_WORKERS or serial)",
-    )
     availability.set_defaults(handler=_cmd_availability)
 
-    export = sub.add_parser("export", help="write per-figure CSV data")
+    theorem = sub.add_parser(
+        "theorem", parents=[shared], help="Theorem-1 equivalence check"
+    )
+    theorem.add_argument("--nodes", type=int, default=8)
+    theorem.add_argument("--penalty", type=float, default=100.0)
+    theorem.add_argument("--seed", type=int, default=0)
+    theorem.set_defaults(handler=_cmd_theorem)
+
+    reactive = sub.add_parser(
+        "reactive", parents=[shared], help="reaction-lag replay"
+    )
+    reactive.add_argument("--days", type=float, default=2.0)
+    reactive.add_argument("--mode", type=str, default="reactive",
+                          choices=["scheduled", "reactive", "proactive"])
+    reactive.add_argument("--policy", type=str, default="run",
+                          choices=["run", "walk", "crawl"])
+    reactive.add_argument("--seed", type=int, default=1)
+    reactive.add_argument("--te-interval-h", type=float, default=4.0)
+    reactive.set_defaults(handler=_cmd_reactive)
+
+    export = sub.add_parser(
+        "export", parents=[shared], help="write per-figure CSV data"
+    )
     export.add_argument("outdir", type=str)
     export.add_argument("--cables", type=int, default=12)
     export.add_argument("--years", type=float, default=1.0)
     export.add_argument("--seed", type=int, default=2017)
-    _add_perf_args(export)
     export.set_defaults(handler=_cmd_export)
 
-    report = sub.add_parser("report", help="full reproduction report")
+    report = sub.add_parser(
+        "report", parents=[shared], help="full reproduction report"
+    )
     report.add_argument("--full", action="store_true",
                         help="paper scale (~2,000 links x 2.5 y; slow)")
     report.add_argument("--cables", type=int, default=12)
@@ -252,11 +374,49 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", type=str, default="")
     report.set_defaults(handler=_cmd_report)
 
-    theorem = sub.add_parser("theorem", help="Theorem-1 equivalence check")
-    theorem.add_argument("--nodes", type=int, default=8)
-    theorem.add_argument("--penalty", type=float, default=100.0)
-    theorem.add_argument("--seed", type=int, default=0)
-    theorem.set_defaults(handler=_cmd_theorem)
+    sweep = sub.add_parser("sweep", help="declarative experiment sweeps")
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser(
+        "run", parents=[shared], help="execute (or resume) a sweep spec file"
+    )
+    sweep_run.add_argument("specfile", type=str,
+                           help="sweep definition (.toml or .json)")
+    sweep_run.add_argument("--out", type=str, default="",
+                           help="run directory (default: under the sweep root)")
+    sweep_run.add_argument("--max-runs", type=int, default=None, metavar="N",
+                           help="execute at most N fresh points, defer the rest")
+    sweep_run.set_defaults(handler=_cmd_sweep_run)
+
+    sweep_resume = sweep_sub.add_parser(
+        "resume", parents=[shared], help="finish a killed or capped run"
+    )
+    sweep_resume.add_argument("run", type=str,
+                              help="run directory path or name under the root")
+    sweep_resume.add_argument("--max-runs", type=int, default=None, metavar="N")
+    sweep_resume.set_defaults(handler=_cmd_sweep_resume)
+
+    sweep_list = sweep_sub.add_parser(
+        "list", parents=[shared], help="list runs under the sweep root"
+    )
+    sweep_list.set_defaults(handler=_cmd_sweep_list)
+
+    sweep_show = sweep_sub.add_parser(
+        "show", parents=[shared], help="re-render a run's stored artifacts"
+    )
+    sweep_show.add_argument("run", type=str)
+    sweep_show.set_defaults(handler=_cmd_sweep_show)
+
+    sweep_compare = sweep_sub.add_parser(
+        "compare", parents=[shared],
+        help="check a run against the paper, or diff two runs",
+    )
+    sweep_compare.add_argument("run_a", type=str)
+    sweep_compare.add_argument("run_b", type=str, nargs="?", default=None)
+    sweep_compare.add_argument("--rtol", type=float, default=0.05,
+                               help="relative tolerance for run-vs-run diffs")
+    sweep_compare.set_defaults(handler=_cmd_sweep_compare)
+
     return parser
 
 

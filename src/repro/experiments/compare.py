@@ -1,0 +1,240 @@
+"""Diff sweep runs — against each other, or against the paper.
+
+Two entry points:
+
+* :func:`compare_runs` — match two run directories' artifacts by spec
+  name and diff every numeric headline metric within a relative
+  tolerance.  This is the regression check between code versions: the
+  artifact keys differ (the code fingerprint moved) but the *metrics*
+  must not, beyond tolerance.
+* :func:`compare_to_paper` — check one run's artifacts against the
+  paper's headline claims with the EXPERIMENTS.md tolerance bands
+  (:data:`PAPER_EXPECTATIONS`).  The bands are deliberately wide enough
+  to hold at the reduced scales CI can afford — EXPERIMENTS.md's
+  "Running sweeps" section states them next to the full-scale numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.experiments.store import RunStore
+
+
+def _flatten(value: Any, prefix: str = "") -> Iterator[tuple[str, float]]:
+    """Walk a metrics payload down to named numeric leaves.
+
+    ``{"points": [{"gain_ratio": 1.4}]}`` yields
+    ``("points[0].gain_ratio", 1.4)``; bools count as 0/1; None and
+    strings are skipped.
+    """
+    if isinstance(value, bool):
+        yield prefix, float(value)
+    elif isinstance(value, (int, float)):
+        if not math.isnan(float(value)):
+            yield prefix, float(value)
+    elif isinstance(value, dict):
+        for key, child in sorted(value.items()):
+            name = f"{prefix}.{key}" if prefix else str(key)
+            yield from _flatten(child, name)
+    elif isinstance(value, (list, tuple)):
+        for idx, child in enumerate(value):
+            yield from _flatten(child, f"{prefix}[{idx}]")
+
+
+def flatten_metrics(metrics: dict[str, Any]) -> dict[str, float]:
+    return dict(_flatten(metrics))
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric of one sweep point."""
+
+    name: str  # spec name
+    metric: str
+    a: float | None
+    b: float | None
+    ok: bool
+
+    @property
+    def delta(self) -> float | None:
+        if self.a is None or self.b is None:
+            return None
+        return self.b - self.a
+
+
+def compare_runs(
+    run_a: str | Path,
+    run_b: str | Path,
+    *,
+    rtol: float = 0.05,
+    atol: float = 1e-9,
+) -> list[MetricDelta]:
+    """Diff two runs' artifacts, matched by spec name.
+
+    A point missing from either side, or a metric present in only one,
+    is reported as a failing delta rather than silently dropped — a
+    disappearing metric is exactly the regression this exists to catch.
+    """
+    artifacts_a = {a["spec"]["name"]: a for a in RunStore(run_a).artifacts()}
+    artifacts_b = {b["spec"]["name"]: b for b in RunStore(run_b).artifacts()}
+    deltas: list[MetricDelta] = []
+    for name in sorted(set(artifacts_a) | set(artifacts_b)):
+        left = artifacts_a.get(name)
+        right = artifacts_b.get(name)
+        if left is None or right is None:
+            deltas.append(MetricDelta(name, "<artifact>",
+                                      None if left is None else 0.0,
+                                      None if right is None else 0.0, False))
+            continue
+        flat_a = flatten_metrics(left.get("result", {}))
+        flat_b = flatten_metrics(right.get("result", {}))
+        for metric in sorted(set(flat_a) | set(flat_b)):
+            va, vb = flat_a.get(metric), flat_b.get(metric)
+            if va is None or vb is None:
+                deltas.append(MetricDelta(name, metric, va, vb, False))
+                continue
+            ok = math.isclose(va, vb, rel_tol=rtol, abs_tol=atol)
+            deltas.append(MetricDelta(name, metric, va, vb, ok))
+    return deltas
+
+
+# ---------------------------------------------------------------------------
+# Paper expectations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One paper claim with its tolerance band."""
+
+    metric: str
+    paper: float
+    lo: float
+    hi: float
+    note: str = ""
+
+    def check(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+
+#: The EXPERIMENTS.md headline table, as checkable bands.  Bands are
+#: stated to hold from reduced CI scale (~14 cables x 1 year) up to the
+#: full paper-scale corpus; see EXPERIMENTS.md "Running sweeps".
+PAPER_EXPECTATIONS: dict[str, tuple[Expectation, ...]] = {
+    "study": (
+        Expectation("frac_hdr_below_2db", 0.83, 0.73, 0.93,
+                    "83% of links with HDR(95%) < 2 dB"),
+        Expectation("frac_at_least_175", 0.80, 0.60, 0.95,
+                    "80% of links can run >= 175 Gbps"),
+        Expectation("frac_rescuable", 0.25, 0.20, 0.55,
+                    ">= 25% of failures keep min SNR >= 3 dB"),
+    ),
+    "testbed": (
+        Expectation("standard_mean_s", 68.0, 60.0, 76.0,
+                    "standard modulation change ~68 s"),
+        Expectation("efficient_mean_s", 0.035, 0.025, 0.045,
+                    "efficient modulation change ~35 ms"),
+    ),
+    "tickets": (
+        Expectation("opportunity_frequency", 0.90, 0.85, 1.0,
+                    "opportunity area > 90% of events"),
+    ),
+    "availability": (
+        Expectation("avoided_fraction", 0.25, 0.15, 0.55,
+                    ">= 25% of failures become capacity flaps"),
+    ),
+    "theorem": (
+        Expectation("holds", 1.0, 1.0, 1.0, "Theorem 1 equivalence"),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class PaperCheck:
+    """One expectation evaluated against one artifact."""
+
+    name: str
+    metric: str
+    paper: float
+    measured: float | None
+    lo: float
+    hi: float
+    ok: bool
+    note: str = ""
+
+
+def compare_to_paper(run_dir: str | Path) -> list[PaperCheck]:
+    """Evaluate every artifact with registered expectations."""
+    checks: list[PaperCheck] = []
+    for artifact in RunStore(run_dir).artifacts():
+        expectations = PAPER_EXPECTATIONS.get(artifact.get("experiment", ""))
+        if not expectations:
+            continue
+        flat = flatten_metrics(artifact.get("result", {}))
+        name = artifact["spec"]["name"]
+        for exp in expectations:
+            measured = flat.get(exp.metric)
+            checks.append(
+                PaperCheck(
+                    name=name,
+                    metric=exp.metric,
+                    paper=exp.paper,
+                    measured=measured,
+                    lo=exp.lo,
+                    hi=exp.hi,
+                    ok=measured is not None and exp.check(measured),
+                    note=exp.note,
+                )
+            )
+    return checks
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def render_deltas(deltas: list[MetricDelta]) -> str:
+    if not deltas:
+        return "no overlapping artifacts to compare"
+    lines = [f"{'point/metric':<56} {'a':>12} {'b':>12}  ok"]
+    for d in deltas:
+        left = "missing" if d.a is None else f"{d.a:.4g}"
+        right = "missing" if d.b is None else f"{d.b:.4g}"
+        lines.append(
+            f"{d.name + ' ' + d.metric:<56} {left:>12} {right:>12}  "
+            f"{'ok' if d.ok else 'DIFF'}"
+        )
+    n_bad = sum(1 for d in deltas if not d.ok)
+    lines.append(
+        f"{len(deltas)} metrics compared, {n_bad} outside tolerance"
+        if n_bad
+        else f"{len(deltas)} metrics compared, all within tolerance"
+    )
+    return "\n".join(lines)
+
+
+def render_paper_checks(checks: list[PaperCheck]) -> str:
+    if not checks:
+        return "no artifacts with paper expectations in this run"
+    lines = [
+        f"{'point/metric':<56} {'paper':>9} {'measured':>9} "
+        f"{'band':>15}  verdict"
+    ]
+    for c in checks:
+        measured = "missing" if c.measured is None else f"{c.measured:.4g}"
+        lines.append(
+            f"{c.name + ' ' + c.metric:<56} {c.paper:>9.4g} {measured:>9} "
+            f"[{c.lo:.4g}, {c.hi:.4g}]  {'ok' if c.ok else 'FAIL'}"
+        )
+    n_bad = sum(1 for c in checks if not c.ok)
+    lines.append(
+        f"{len(checks)} claims checked, {n_bad} outside the stated bands"
+        if n_bad
+        else f"{len(checks)} claims checked, all within the stated bands"
+    )
+    return "\n".join(lines)

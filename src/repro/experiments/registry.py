@@ -1,0 +1,601 @@
+"""The experiment registry: named, parameterised, reproducible runs.
+
+Every headline experiment of the reproduction — the ones `cli.py` and
+``examples/`` used to hand-roll — is registered here as a pure function
+``params -> metrics`` plus the metadata that makes runs content
+addressable:
+
+* ``defaults`` — the full parameter set, so a spec only has to name
+  what it changes;
+* ``modules`` — the source modules whose bytes determine the result;
+  :func:`spec_key` hashes them (via :mod:`repro.fingerprint`) into the
+  artifact key, so editing experiment code transparently invalidates
+  stored artifacts, exactly like the telemetry summary cache;
+* ``render`` — the human-readable text the CLI prints, derived from the
+  metrics dict alone (so ``repro sweep show`` can re-render an artifact
+  years later without re-running anything).
+
+Metrics dicts contain only JSON scalars, lists and string-keyed dicts.
+Execution knobs that must *not* change the artifact key (worker count,
+summary-cache bypass) travel separately in :class:`ExecutionContext`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.experiments.spec import ScenarioSpec
+from repro.fingerprint import fingerprint_modules
+from repro.seeds import component_rng
+
+_KEY_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """How to run — never *what* to run (excluded from artifact keys)."""
+
+    workers: int | None = None
+    cache: bool | None = None
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment."""
+
+    name: str
+    description: str
+    run: Callable[..., dict[str, Any]]
+    defaults: tuple[tuple[str, Any], ...]
+    #: modules whose source bytes determine the result
+    modules: tuple[str, ...]
+    render: Callable[[dict[str, Any]], str]
+
+    def defaults_dict(self) -> dict[str, Any]:
+        return dict(self.defaults)
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(experiment: Experiment) -> Experiment:
+    if experiment.name in _REGISTRY:
+        raise ValueError(f"experiment {experiment.name!r} already registered")
+    _REGISTRY[experiment.name] = experiment
+    return experiment
+
+
+def get_experiment(name: str) -> Experiment:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {name!r} (known: {known})") from None
+
+
+def experiment_names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_params(spec: ScenarioSpec) -> dict[str, Any]:
+    """Merge the experiment's defaults with the spec's overrides."""
+    experiment = get_experiment(spec.experiment)
+    defaults = experiment.defaults_dict()
+    params = spec.params_dict()
+    unknown = set(params) - set(defaults)
+    if unknown:
+        raise KeyError(
+            f"spec {spec.name!r} sets unknown parameter(s) "
+            f"{sorted(unknown)} for experiment {spec.experiment!r} "
+            f"(valid: {sorted(defaults)})"
+        )
+    defaults.update(params)
+    return defaults
+
+
+def spec_key(spec: ScenarioSpec) -> str:
+    """Content hash of (resolved spec, experiment code fingerprint).
+
+    Two specs that resolve to the same parameters share a key even if
+    one spells defaults out and the other relies on them; any edit to
+    the experiment's source modules changes every key.
+    """
+    experiment = get_experiment(spec.experiment)
+    payload = {
+        "schema": _KEY_SCHEMA,
+        "experiment": spec.experiment,
+        "params": resolve_params(spec),
+        "code": fingerprint_modules(experiment.modules),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+def run_spec(
+    spec: ScenarioSpec, context: ExecutionContext | None = None
+) -> dict[str, Any]:
+    """Execute one spec and return its metrics dict."""
+    experiment = get_experiment(spec.experiment)
+    params = resolve_params(spec)
+    return experiment.run(context if context is not None else ExecutionContext(), **params)
+
+
+def render_result(experiment_name: str, metrics: Mapping[str, Any]) -> str:
+    return get_experiment(experiment_name).render(dict(metrics))
+
+
+# ---------------------------------------------------------------------------
+# The headline experiments
+# ---------------------------------------------------------------------------
+
+#: every artifact key also covers the registry itself and the spec layer
+_BASE_MODULES = ("repro.experiments.registry", "repro.experiments.spec", "repro.seeds")
+
+
+def _run_study(
+    ctx: ExecutionContext, *, cables: int, years: float, seed: int
+) -> dict[str, Any]:
+    from repro.analysis import figures
+    from repro.telemetry import BackboneConfig, BackboneDataset
+
+    config = BackboneConfig(n_cables=cables, years=years, seed=seed)
+    dataset = BackboneDataset(config)
+    summaries = dataset.summaries(workers=ctx.workers, cache=ctx.cache)
+    fig2a = figures.fig2a_snr_variation(summaries)
+    fig2b = figures.fig2b_feasible_capacity(summaries)
+    metrics: dict[str, Any] = {
+        "n_links": len(summaries),
+        "frac_hdr_below_2db": float(fig2a.frac_hdr_below_2db),
+        "mean_range_db": float(fig2a.mean_range_db),
+        "frac_at_least_175": float(fig2b.frac_at_least_175),
+        "total_gain_tbps": float(fig2b.total_gain_tbps),
+    }
+    try:
+        fig4c = figures.fig4c_failure_snr(summaries)
+    except ValueError:  # no failures in a tiny corpus
+        metrics["frac_rescuable"] = None
+        metrics["n_failures"] = 0
+    else:
+        metrics["frac_rescuable"] = float(fig4c.frac_at_least_3db)
+        metrics["n_failures"] = int(len(fig4c.min_snrs_db))
+    return metrics
+
+
+def _render_study(m: Mapping[str, Any]) -> str:
+    lines = [
+        f"links: {m['n_links']}",
+        f"HDR < 2 dB: {100.0 * m['frac_hdr_below_2db']:.1f}% (paper: 83%)",
+        f"mean range: {m['mean_range_db']:.1f} dB",
+        f">=175 Gbps feasible: {100.0 * m['frac_at_least_175']:.1f}% (paper: 80%)",
+        f"aggregate headroom: {m['total_gain_tbps']:.1f} Tbps",
+    ]
+    if m.get("frac_rescuable") is None:
+        lines.append("rescuable failures: no failures in this (small) corpus")
+    else:
+        lines.append(
+            f"rescuable failures: {100.0 * m['frac_rescuable']:.1f}% (paper: ~25%)"
+        )
+    return "\n".join(lines)
+
+
+register(
+    Experiment(
+        name="study",
+        description="Section-2 telemetry study (Figures 2a/2b/4c)",
+        run=_run_study,
+        defaults=(("cables", 14), ("years", 1.0), ("seed", 2017)),
+        modules=_BASE_MODULES
+        + (
+            "repro.analysis.figures",
+            "repro.optics.fiber",
+            "repro.optics.impairments",
+            "repro.optics.modulation",
+            "repro.telemetry.dataset",
+            "repro.telemetry.events",
+            "repro.telemetry.hdr",
+            "repro.telemetry.stats",
+            "repro.telemetry.timebase",
+            "repro.telemetry.traces",
+        ),
+        render=_render_study,
+    )
+)
+
+
+def _run_testbed(ctx: ExecutionContext, *, changes: int, seed: int) -> dict[str, Any]:
+    from repro.bvt import Testbed
+
+    report = Testbed(seed=seed).run_figure6_experiment(changes)
+    return {
+        "n_changes": int(changes),
+        "standard_mean_s": float(report.standard_mean_s),
+        "efficient_mean_s": float(report.efficient_mean_s),
+        "speedup": float(report.speedup),
+    }
+
+
+def _render_testbed(m: Mapping[str, Any]) -> str:
+    return "\n".join(
+        [
+            f"{m['n_changes']} modulation changes per procedure",
+            f"standard:  mean {m['standard_mean_s']:.1f} s (paper: 68 s)",
+            f"efficient: mean {1000.0 * m['efficient_mean_s']:.1f} ms (paper: 35 ms)",
+            f"speedup: {m['speedup']:,.0f}x",
+        ]
+    )
+
+
+register(
+    Experiment(
+        name="testbed",
+        description="Figure-6b BVT modulation-change experiment",
+        run=_run_testbed,
+        defaults=(("changes", 200), ("seed", 68)),
+        modules=_BASE_MODULES
+        + (
+            "repro.bvt.testbed",
+            "repro.bvt.transceiver",
+            "repro.bvt.laser",
+            "repro.bvt.dsp",
+            "repro.bvt.clock",
+            "repro.optics.constellation",
+            "repro.optics.modulation",
+        ),
+        render=_render_testbed,
+    )
+)
+
+
+def _run_tickets(ctx: ExecutionContext, *, seed: int) -> dict[str, Any]:
+    from repro.tickets import TicketGenerator, opportunity_area, shares_by_cause
+
+    corpus = TicketGenerator().generate(component_rng(seed, "tickets"))
+    shares = shares_by_cause(corpus)
+    area = opportunity_area(corpus)
+    return {
+        "n_tickets": len(corpus),
+        "duration_shares": {c.label: float(f) for c, f in shares.duration.items()},
+        "frequency_shares": {c.label: float(f) for c, f in shares.frequency.items()},
+        "opportunity_frequency": float(area.opportunity_frequency),
+        "opportunity_duration": float(area.opportunity_duration),
+    }
+
+
+def _render_tickets(m: Mapping[str, Any]) -> str:
+    from repro.analysis import render_shares
+
+    return "\n".join(
+        [
+            render_shares(
+                "share of outage duration (Fig 4a)", dict(m["duration_shares"])
+            ),
+            render_shares("share of events (Fig 4b)", dict(m["frequency_shares"])),
+            f"opportunity area: {100.0 * m['opportunity_frequency']:.1f}% of events",
+        ]
+    )
+
+
+register(
+    Experiment(
+        name="tickets",
+        description="Figure-4 root-cause shares of the ticket corpus",
+        run=_run_tickets,
+        defaults=(("seed", 2017),),
+        modules=_BASE_MODULES
+        + (
+            "repro.optics.impairments",
+            "repro.tickets.analysis",
+            "repro.tickets.generator",
+            "repro.tickets.model",
+        ),
+        render=_render_tickets,
+    )
+)
+
+
+def _run_throughput(
+    ctx: ExecutionContext,
+    *,
+    offered_gbps: float,
+    snr_db: float,
+    scales: tuple[float, ...],
+    seed: int,
+) -> dict[str, Any]:
+    from repro.net import gravity_demands, us_backbone_like
+    from repro.sim import simulate_throughput_gains
+
+    topology = us_backbone_like()
+    demands = gravity_demands(
+        topology, offered_gbps, component_rng(seed, "throughput.demands")
+    )
+    snrs = {l.link_id: snr_db for l in topology.real_links()}
+    points = simulate_throughput_gains(
+        topology, demands, snrs, demand_scales=tuple(scales)
+    )
+    return {
+        "points": [
+            {
+                "scale": float(p.demand_scale),
+                "static_gbps": float(p.static_gbps),
+                "dynamic_gbps": float(p.dynamic_gbps),
+                "gain_ratio": float(p.gain_ratio),
+            }
+            for p in points
+        ],
+        "max_gain_ratio": max(float(p.gain_ratio) for p in points),
+    }
+
+
+def _render_throughput(m: Mapping[str, Any]) -> str:
+    from repro.analysis import render_series
+
+    rows = [
+        (p["scale"], p["static_gbps"], p["dynamic_gbps"], p["gain_ratio"])
+        for p in m["points"]
+    ]
+    return render_series(
+        "static vs dynamic TE throughput",
+        rows,
+        header=["scale", "static", "dynamic", "gain x"],
+    )
+
+
+register(
+    Experiment(
+        name="throughput",
+        description="static vs dynamic TE throughput sweep",
+        run=_run_throughput,
+        defaults=(
+            ("offered_gbps", 6000.0),
+            ("snr_db", 16.0),
+            ("scales", (0.5, 1.0, 2.0)),
+            ("seed", 1),
+        ),
+        modules=_BASE_MODULES
+        + (
+            "repro.core.augmentation",
+            "repro.net.demands",
+            "repro.net.topologies",
+            "repro.optics.modulation",
+            "repro.sim.throughput",
+            "repro.te.lp",
+        ),
+        render=_render_throughput,
+    )
+)
+
+
+def _run_availability(
+    ctx: ExecutionContext, *, cables: int, years: float, seed: int
+) -> dict[str, Any]:
+    from repro.sim import availability_report
+    from repro.telemetry import BackboneConfig, BackboneDataset
+
+    dataset = BackboneDataset(
+        BackboneConfig(n_cables=cables, years=years, seed=seed)
+    )
+    report = availability_report(dataset.iter_traces(workers=ctx.workers))
+    return {
+        "n_links": int(report.n_links),
+        "n_binary_failures": int(report.n_binary_failures),
+        "n_avoided": int(report.n_avoided),
+        "avoided_fraction": float(report.avoided_fraction),
+        "total_downtime_saved_h": float(report.total_downtime_saved_h),
+        "mean_binary_availability": float(report.mean_binary_availability),
+        "mean_dynamic_availability": float(report.mean_dynamic_availability),
+    }
+
+
+def _render_availability(m: Mapping[str, Any]) -> str:
+    return "\n".join(
+        [
+            f"links: {m['n_links']}",
+            f"binary failures: {m['n_binary_failures']}",
+            f"avoided (flaps): {m['n_avoided']} "
+            f"({100.0 * m['avoided_fraction']:.1f}%; paper: ~25%)",
+            f"downtime saved: {m['total_downtime_saved_h']:.0f} h",
+        ]
+    )
+
+
+register(
+    Experiment(
+        name="availability",
+        description="binary failures vs dynamic capacity flaps",
+        run=_run_availability,
+        defaults=(("cables", 10), ("years", 1.0), ("seed", 42)),
+        modules=_BASE_MODULES
+        + (
+            "repro.optics.fiber",
+            "repro.optics.impairments",
+            "repro.optics.modulation",
+            "repro.sim.availability",
+            "repro.telemetry.dataset",
+            "repro.telemetry.events",
+            "repro.telemetry.stats",
+            "repro.telemetry.timebase",
+            "repro.telemetry.traces",
+        ),
+        render=_render_availability,
+    )
+)
+
+
+def _run_theorem(
+    ctx: ExecutionContext, *, nodes: int, penalty: float, seed: int
+) -> dict[str, Any]:
+    from repro.core import ConstantPenalty, check_theorem1
+    from repro.net import random_wan
+
+    rng = component_rng(seed, "theorem.wan")
+    topology = random_wan(nodes, rng)
+    for link in list(topology.links):
+        if rng.random() < 0.5:
+            topology.replace_link(link.link_id, headroom_gbps=100.0)
+    all_nodes = topology.nodes
+    report = check_theorem1(
+        topology,
+        all_nodes[0],
+        all_nodes[-1],
+        penalty_policy=ConstantPenalty(penalty),
+    )
+    return {
+        "maxflow_on_full_g": float(report.maxflow_on_full_g),
+        "mcmf_on_augmented": float(report.mcmf_on_augmented),
+        "maxflow_on_static_g": float(report.maxflow_on_static_g),
+        "holds": bool(report.holds),
+    }
+
+
+def _render_theorem(m: Mapping[str, Any]) -> str:
+    return "\n".join(
+        [
+            f"max-flow(G at full capacity) = {m['maxflow_on_full_g']:.1f} Gbps",
+            f"min-cost max-flow(G')        = {m['mcmf_on_augmented']:.1f} Gbps",
+            f"static max-flow(G)           = {m['maxflow_on_static_g']:.1f} Gbps",
+            f"Theorem 1 holds: {m['holds']}",
+        ]
+    )
+
+
+register(
+    Experiment(
+        name="theorem",
+        description="Theorem-1 equivalence check on a random WAN",
+        run=_run_theorem,
+        defaults=(("nodes", 8), ("penalty", 100.0), ("seed", 0)),
+        modules=_BASE_MODULES
+        + (
+            "repro.core.augmentation",
+            "repro.core.penalties",
+            "repro.core.theorem",
+            "repro.net.topologies",
+            "repro.te.maxflow",
+        ),
+        render=_render_theorem,
+    )
+)
+
+
+_POLICIES = ("run", "walk", "crawl")
+_MODES = ("scheduled", "reactive", "proactive")
+
+
+def _run_reactive(
+    ctx: ExecutionContext,
+    *,
+    days: float,
+    mode: str,
+    policy: str,
+    seed: int,
+    te_interval_h: float,
+    baseline_snr_db: float,
+    offered_gbps: float,
+    dip_db: float,
+    dip_hours: float,
+) -> dict[str, Any]:
+    """Reaction-lag replay on a 3-node line with one mid-horizon dip."""
+    from repro.core.controller import DynamicCapacityController
+    from repro.core.policies import crawl_policy, run_policy, walk_policy
+    from repro.net.demands import gravity_demands
+    from repro.net.topologies import line_topology
+    from repro.optics.impairments import AmplifierDegradation
+    from repro.sim.reactive import reactive_replay
+    from repro.telemetry.timebase import Timebase
+    from repro.telemetry.traces import NoiseModel, synthesize_cable_traces
+
+    if mode not in _MODES:
+        raise ValueError(f"unknown mode {mode!r} (valid: {_MODES})")
+    if policy not in _POLICIES:
+        raise ValueError(f"unknown policy {policy!r} (valid: {_POLICIES})")
+    topology = line_topology(3)
+    timebase = Timebase.from_duration(days=days)
+    link_ids = [l.link_id for l in topology.real_links()]
+    events = []
+    if dip_db > 0 and dip_hours > 0:
+        events.append(
+            AmplifierDegradation(
+                0.4 * timebase.duration_s, dip_hours * 3600.0, dip_db
+            )
+        )
+    traces = synthesize_cable_traces(
+        "sweep-cable",
+        np.full(len(link_ids), baseline_snr_db),
+        timebase,
+        events,
+        {},
+        NoiseModel(sigma_db=0.08, wander_amplitude_db=0.0),
+        component_rng(seed, "reactive.cable"),
+    )
+    demands = gravity_demands(
+        topology, offered_gbps, component_rng(seed, "reactive.demands")
+    )
+    policy_fn = {"run": run_policy, "walk": walk_policy, "crawl": crawl_policy}[policy]
+    controller = DynamicCapacityController(topology, policy=policy_fn(), seed=seed)
+    result = reactive_replay(
+        controller,
+        dict(zip(link_ids, traces)),
+        demands,
+        te_interval_s=te_interval_h * 3600.0,
+        mode=mode,
+    )
+    return {
+        "mode": mode,
+        "policy": policy,
+        "n_scheduled_rounds": int(result.n_scheduled_rounds),
+        "n_emergency_rounds": int(result.n_emergency_rounds),
+        "lost_gbps_hours": float(result.lost_gbps_hours),
+        "mean_throughput_gbps": float(result.mean_throughput_gbps),
+        "total_downtime_s": float(result.total_downtime_s),
+    }
+
+
+def _render_reactive(m: Mapping[str, Any]) -> str:
+    return "\n".join(
+        [
+            f"mode={m['mode']} policy={m['policy']}",
+            f"rounds: {m['n_scheduled_rounds']} scheduled "
+            f"+ {m['n_emergency_rounds']} emergency",
+            f"traffic lost to reaction lag: {m['lost_gbps_hours']:.1f} Gbps-h",
+            f"mean throughput: {m['mean_throughput_gbps']:.0f} Gbps",
+        ]
+    )
+
+
+register(
+    Experiment(
+        name="reactive",
+        description="reaction-lag replay: scheduled vs reactive vs proactive",
+        run=_run_reactive,
+        defaults=(
+            ("days", 2.0),
+            ("mode", "reactive"),
+            ("policy", "run"),
+            ("seed", 1),
+            ("te_interval_h", 4.0),
+            ("baseline_snr_db", 15.0),
+            ("offered_gbps", 400.0),
+            ("dip_db", 10.0),
+            ("dip_hours", 6.0),
+        ),
+        modules=_BASE_MODULES
+        + (
+            "repro.core.controller",
+            "repro.core.policies",
+            "repro.net.demands",
+            "repro.net.topologies",
+            "repro.optics.impairments",
+            "repro.optics.modulation",
+            "repro.sim.reactive",
+            "repro.telemetry.anomaly",
+            "repro.telemetry.timebase",
+            "repro.telemetry.traces",
+        ),
+        render=_render_reactive,
+    )
+)

@@ -1,0 +1,44 @@
+"""Source-code fingerprints for content-addressed caching.
+
+Both caches in the repository — the telemetry summary cache
+(:mod:`repro.telemetry.cache`) and the experiment artifact store
+(:mod:`repro.experiments.store`) — key their entries on a hash that
+includes the *code* that produced the value, so editing any module in
+the producing chain transparently invalidates old entries.  This
+module holds the one hashing primitive they share.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+from pathlib import Path
+from typing import Iterable
+
+_fingerprint_cache: dict[tuple[str, ...], str] = {}
+
+
+def fingerprint_modules(module_names: Iterable[str]) -> str:
+    """SHA-256 over the source bytes of the named modules (memoised).
+
+    Module names are imported on first use; order does not matter (the
+    digest walks them sorted), so callers can declare dependencies in
+    whatever order reads best.
+    """
+    key = tuple(sorted(set(module_names)))
+    if not key:
+        raise ValueError("fingerprint needs at least one module")
+    cached = _fingerprint_cache.get(key)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for name in key:
+        module = importlib.import_module(name)
+        path = getattr(module, "__file__", None)
+        if path is None:  # pragma: no cover - builtins have no source
+            digest.update(name.encode("utf-8"))
+        else:
+            digest.update(Path(path).read_bytes())
+    result = digest.hexdigest()
+    _fingerprint_cache[key] = result
+    return result

@@ -1,0 +1,88 @@
+"""Shared process-pool machinery for corpus synthesis and sweep runs.
+
+Extracted from :mod:`repro.telemetry.dataset` (PR 1) so every layer
+that fans independent jobs out over workers — cable synthesis, the
+:mod:`repro.experiments` sweep runner, future sharded backends — goes
+through one probe/fallback path:
+
+* :func:`resolve_workers` — normalise a ``workers`` knob against the
+  ``REPRO_WORKERS`` environment variable (``None`` defers, minimum 1);
+* :func:`process_pool_usable` — probe once whether this host can fork a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (sandboxes and
+  exotic interpreters sometimes cannot);
+* :func:`make_pool` — a process pool when possible, else a thread pool
+  (jobs that carry their own rng stay deterministic either way);
+* :func:`pool_map` — ordered map over a pool with bounded in-flight
+  work, so streaming consumers keep their bounded-memory guarantees.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, TypeVar
+
+_T = TypeVar("_T")
+_S = TypeVar("_S")
+
+#: Default worker count when ``workers=None`` (0/unset means serial).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise the ``workers`` knob: ``None`` defers to ``REPRO_WORKERS``."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "")
+        try:
+            workers = int(raw) if raw else 1
+        except ValueError:
+            workers = 1
+    return max(int(workers), 1)
+
+
+_process_pool_ok: bool | None = None
+
+
+def process_pool_usable() -> bool:
+    """Probe once whether this host can run a ProcessPoolExecutor.
+
+    Sandboxes and exotic interpreters sometimes forbid forking; the
+    fallback is a thread pool, which preserves determinism (jobs carry
+    their own rng) and still overlaps the release-the-GIL numpy/scipy
+    sections.
+    """
+    global _process_pool_ok
+    if _process_pool_ok is None:
+        try:
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                _process_pool_ok = pool.submit(int, 1).result(timeout=60) == 1
+        except Exception:
+            _process_pool_ok = False
+    return _process_pool_ok
+
+
+def make_pool(workers: int) -> Executor:
+    """A process pool when the host allows it, else a thread pool."""
+    if process_pool_usable():
+        return ProcessPoolExecutor(max_workers=workers)
+    return ThreadPoolExecutor(max_workers=workers)
+
+
+def pool_map(
+    fn: Callable[[_S], _T], items: Iterable[_S], workers: int
+) -> Iterator[_T]:
+    """Map ``fn`` over ``items`` on a pool, yielding results in input order.
+
+    In-flight work is bounded (``workers + 2`` outstanding futures) so a
+    streaming consumer keeps a bounded-memory guarantee even when
+    producers run ahead.
+    """
+    with make_pool(workers) as pool:
+        pending: deque = deque()
+        for item in items:
+            pending.append(pool.submit(fn, item))
+            if len(pending) > workers + 2:
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()

@@ -12,10 +12,16 @@ Three primitives:
   so far into a report dict, optionally persisted as ``BENCH.json`` so
   the perf trajectory is tracked PR-over-PR.
 
-All state lives in a module-level :class:`PerfRegistry`; tests and
-benchmarks call :func:`reset` for isolation.  The overhead per record is
-one ``perf_counter`` pair and a dict update — cheap enough to leave the
-instrumentation on unconditionally.
+All state lives in a *current* :class:`PerfRegistry` — the process-wide
+:data:`REGISTRY` by default.  Tests and benchmarks either call
+:func:`reset` or, better, enter :func:`isolated`, which swaps in a fresh
+registry for the enclosed block (per thread, so pool workers running in
+the thread-fallback mode cannot bleed timers into each other).  The
+sweep runner (:mod:`repro.experiments.runner`) wraps every run in
+:func:`isolated` so back-to-back runs in one process each report their
+own timings instead of accumulating into one global report.  The
+overhead per record is one ``perf_counter`` pair and a dict update —
+cheap enough to leave the instrumentation on unconditionally.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from __future__ import annotations
 import json
 import math
 import platform
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -143,11 +150,75 @@ class PerfRegistry:
 #: Process-wide default registry used by the library's instrumentation.
 REGISTRY = PerfRegistry()
 
-timer = REGISTRY.timer
-record = REGISTRY.record
-event = REGISTRY.event
-timer_stat = REGISTRY.timer_stat
-event_count = REGISTRY.event_count
-collect = REGISTRY.collect
-reset = REGISTRY.reset
-write_bench = REGISTRY.write_bench
+_isolation = threading.local()
+
+
+def current() -> PerfRegistry:
+    """The registry instrumentation records into right now.
+
+    :data:`REGISTRY` unless the calling thread is inside
+    :func:`isolated`, in which case the innermost isolated registry.
+    """
+    stack = getattr(_isolation, "stack", None)
+    return stack[-1] if stack else REGISTRY
+
+
+@contextmanager
+def isolated(registry: PerfRegistry | None = None) -> Iterator[PerfRegistry]:
+    """Route this thread's instrumentation into a fresh registry.
+
+    Yields the registry so the caller can :meth:`~PerfRegistry.collect`
+    its report afterwards; on exit the previous registry is restored
+    untouched.  Nests, and is independent per thread.
+
+    >>> with isolated() as reg:
+    ...     record("isolated.work", 0.5)
+    >>> reg.timer_stat("isolated.work").count
+    1
+    >>> timer_stat("isolated.work") is None  # the default registry
+    True
+    """
+    reg = registry if registry is not None else PerfRegistry()
+    stack = getattr(_isolation, "stack", None)
+    if stack is None:
+        stack = _isolation.stack = []
+    stack.append(reg)
+    try:
+        yield reg
+    finally:
+        stack.pop()
+
+
+def timer(name: str, **meta: Any):
+    """Time the enclosed block on the current registry."""
+    return current().timer(name, **meta)
+
+
+def record(name: str, elapsed_s: float, **meta: Any) -> None:
+    current().record(name, elapsed_s, **meta)
+
+
+def event(name: str, count: int = 1) -> None:
+    current().event(name, count)
+
+
+def timer_stat(name: str) -> TimerStat | None:
+    return current().timer_stat(name)
+
+
+def event_count(name: str) -> int:
+    return current().event_count(name)
+
+
+def collect(extra: dict[str, Any] | None = None) -> dict[str, Any]:
+    return current().collect(extra)
+
+
+def reset() -> None:
+    current().reset()
+
+
+def write_bench(
+    path: str | Path = "BENCH.json", *, extra: dict[str, Any] | None = None
+) -> Path:
+    return current().write_bench(path, extra=extra)

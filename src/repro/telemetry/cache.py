@@ -27,6 +27,7 @@ import tempfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
+from repro.fingerprint import fingerprint_modules
 from repro.optics.modulation import ModulationTable
 from repro.telemetry.io import load_summaries, save_summaries
 from repro.telemetry.stats import LinkSummary
@@ -42,7 +43,19 @@ NO_CACHE_ENV = "REPRO_NO_CACHE"
 _SCHEMA = 1
 _PREFIX = "summaries-"
 
-_code_fingerprint_cache: str | None = None
+#: Modules whose source determines the synthesis output byte-for-byte.
+SYNTHESIS_MODULES = (
+    "repro.optics.fiber",
+    "repro.optics.impairments",
+    "repro.optics.modulation",
+    "repro.seeds",
+    "repro.telemetry.dataset",
+    "repro.telemetry.events",
+    "repro.telemetry.hdr",
+    "repro.telemetry.stats",
+    "repro.telemetry.timebase",
+    "repro.telemetry.traces",
+)
 
 
 def cache_enabled(override: bool | None = None) -> bool:
@@ -71,34 +84,7 @@ def code_fingerprint() -> str:
     processes, summary statistics, the optical budget, or the modulation
     ladder) changes this digest and therefore every cache key.
     """
-    global _code_fingerprint_cache
-    if _code_fingerprint_cache is None:
-        import repro.optics.fiber
-        import repro.optics.impairments
-        import repro.optics.modulation
-        import repro.telemetry.dataset
-        import repro.telemetry.events
-        import repro.telemetry.hdr
-        import repro.telemetry.stats
-        import repro.telemetry.timebase
-        import repro.telemetry.traces
-
-        modules = (
-            repro.optics.fiber,
-            repro.optics.impairments,
-            repro.optics.modulation,
-            repro.telemetry.dataset,
-            repro.telemetry.events,
-            repro.telemetry.hdr,
-            repro.telemetry.stats,
-            repro.telemetry.timebase,
-            repro.telemetry.traces,
-        )
-        digest = hashlib.sha256()
-        for module in modules:
-            digest.update(Path(module.__file__).read_bytes())
-        _code_fingerprint_cache = digest.hexdigest()
-    return _code_fingerprint_cache
+    return fingerprint_modules(SYNTHESIS_MODULES)
 
 
 def _table_signature(table: ModulationTable) -> list[list[float | str]]:

@@ -26,18 +26,16 @@ Two amortisation layers sit on top of the generator:
 from __future__ import annotations
 
 import functools
-import os
-import zlib
-from collections import deque
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, TypeVar
+from typing import Callable, Iterator, TypeVar
 
 import numpy as np
 
 from repro import perf
+from repro.parallel import WORKERS_ENV, pool_map, resolve_workers
 from repro.optics.fiber import FiberCable, LineSystem
 from repro.optics.modulation import DEFAULT_MODULATIONS, ModulationTable
+from repro.seeds import component_rng
 from repro.telemetry import cache as summary_cache
 from repro.telemetry.events import EventRates, EventSynthesizer, PAPER_EVENT_RATES
 from repro.telemetry.stats import LinkSummary, summarize_trace
@@ -46,8 +44,13 @@ from repro.telemetry.traces import NoiseModel, SnrTrace, synthesize_cable_traces
 
 _T = TypeVar("_T")
 
-#: Default worker count when ``workers=None`` (0/unset means serial).
-WORKERS_ENV = "REPRO_WORKERS"
+__all__ = [
+    "WORKERS_ENV",
+    "BackboneConfig",
+    "BackboneDataset",
+    "CableSpec",
+    "high_quality_cable_spec",
+]
 
 
 @dataclass(frozen=True)
@@ -143,8 +146,7 @@ def _synthesize_cable(
     would.
     """
     timebase = config.timebase()
-    name_key = zlib.crc32(spec.name.encode("utf-8"))
-    rng = np.random.default_rng((config.seed, name_key, seed_offset))
+    rng = component_rng(config.seed, spec.name, seed_offset)
     synth = EventSynthesizer(config.event_rates)
     cable_events = synth.cable_events(timebase.duration_s, rng)
     wavelength_events = {
@@ -180,63 +182,6 @@ def _summarize_cable(
         )
         for trace in _synthesize_cable(config, spec)
     ]
-
-
-def _resolve_workers(workers: int | None) -> int:
-    """Normalise the ``workers`` knob: None defers to ``REPRO_WORKERS``."""
-    if workers is None:
-        raw = os.environ.get(WORKERS_ENV, "")
-        try:
-            workers = int(raw) if raw else 1
-        except ValueError:
-            workers = 1
-    return max(int(workers), 1)
-
-
-_process_pool_ok: bool | None = None
-
-
-def _process_pool_usable() -> bool:
-    """Probe once whether this host can run a ProcessPoolExecutor.
-
-    Sandboxes and exotic interpreters sometimes forbid forking; the
-    fallback is a thread pool, which preserves determinism (cables carry
-    their own rng) and still overlaps the release-the-GIL numpy/scipy
-    sections.
-    """
-    global _process_pool_ok
-    if _process_pool_ok is None:
-        try:
-            with ProcessPoolExecutor(max_workers=1) as pool:
-                _process_pool_ok = pool.submit(int, 1).result(timeout=60) == 1
-        except Exception:
-            _process_pool_ok = False
-    return _process_pool_ok
-
-
-def _make_pool(workers: int) -> Executor:
-    if _process_pool_usable():
-        return ProcessPoolExecutor(max_workers=workers)
-    return ThreadPoolExecutor(max_workers=workers)
-
-
-def _pool_map(
-    fn: Callable[[CableSpec], _T], specs: Iterable[CableSpec], workers: int
-) -> Iterator[_T]:
-    """Map ``fn`` over cables on a pool, yielding results in input order.
-
-    In-flight work is bounded (``workers + 2`` outstanding futures) so a
-    trace-streaming consumer keeps the dataset's bounded-memory
-    guarantee even when producers run ahead.
-    """
-    with _make_pool(workers) as pool:
-        pending: deque = deque()
-        for spec in specs:
-            pending.append(pool.submit(fn, spec))
-            if len(pending) > workers + 2:
-                yield pending.popleft().result()
-        while pending:
-            yield pending.popleft().result()
 
 
 class BackboneDataset:
@@ -321,7 +266,7 @@ class BackboneDataset:
             for spec in specs:
                 yield fn(spec)
         else:
-            yield from _pool_map(fn, specs, workers)
+            yield from pool_map(fn, specs, workers)
 
     def iter_traces(self, *, workers: int | None = None) -> Iterator[SnrTrace]:
         """All traces, one cable at a time (bounded memory).
@@ -330,7 +275,7 @@ class BackboneDataset:
         fallback); ordering and content are identical to serial.
         """
         fn = functools.partial(_synthesize_cable, self.config)
-        for cable in self._map_cables(fn, _resolve_workers(workers)):
+        for cable in self._map_cables(fn, resolve_workers(workers)):
             yield from cable
 
     def summaries(
@@ -353,7 +298,7 @@ class BackboneDataset:
                 so stale reads are impossible.
         """
         cfg = self.config
-        n_workers = _resolve_workers(workers)
+        n_workers = resolve_workers(workers)
         use_cache = summary_cache.cache_enabled(cache)
         key = None
         if use_cache:

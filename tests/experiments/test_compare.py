@@ -1,0 +1,118 @@
+"""Tests for run-vs-run and run-vs-paper comparison."""
+
+from repro.experiments.compare import (
+    PAPER_EXPECTATIONS,
+    compare_runs,
+    compare_to_paper,
+    flatten_metrics,
+    render_deltas,
+    render_paper_checks,
+)
+from repro.experiments.runner import run_sweep
+from repro.experiments.spec import Sweep
+from repro.experiments.store import RunStore
+
+
+def theorem_sweep():
+    return Sweep.create("t", "theorem", params={"nodes": 5}, axes={"seed": [3]})
+
+
+class TestFlatten:
+    def test_scalars_and_bools(self):
+        flat = flatten_metrics({"x": 1.5, "holds": True, "skip": None})
+        assert flat == {"x": 1.5, "holds": 1.0}
+
+    def test_nested_dicts_and_lists(self):
+        flat = flatten_metrics(
+            {"points": [{"gain": 1.4}, {"gain": 1.6}], "shares": {"a": 0.5}}
+        )
+        assert flat == {
+            "points[0].gain": 1.4,
+            "points[1].gain": 1.6,
+            "shares.a": 0.5,
+        }
+
+    def test_strings_skipped(self):
+        assert flatten_metrics({"mode": "reactive", "n": 2}) == {"n": 2.0}
+
+
+class TestCompareRuns:
+    def test_identical_runs_all_ok(self, tmp_path):
+        run_sweep(theorem_sweep(), tmp_path / "a", workers=1)
+        run_sweep(theorem_sweep(), tmp_path / "b", workers=1)
+        deltas = compare_runs(tmp_path / "a", tmp_path / "b")
+        assert deltas
+        assert all(d.ok for d in deltas)
+        assert "all within tolerance" in render_deltas(deltas)
+
+    def test_drifted_metric_flagged(self, tmp_path):
+        run_sweep(theorem_sweep(), tmp_path / "a", workers=1)
+        run_sweep(theorem_sweep(), tmp_path / "b", workers=1)
+        store = RunStore(tmp_path / "b")
+        artifact = store.artifacts()[0]
+        artifact["result"]["maxflow_on_full_g"] *= 2.0
+        store.save_artifact(artifact["key"], artifact)
+        deltas = compare_runs(tmp_path / "a", tmp_path / "b")
+        bad = [d for d in deltas if not d.ok]
+        assert len(bad) == 1
+        assert bad[0].metric == "maxflow_on_full_g"
+        assert "DIFF" in render_deltas(deltas)
+
+    def test_missing_point_flagged(self, tmp_path):
+        run_sweep(theorem_sweep(), tmp_path / "a", workers=1)
+        run_sweep(
+            Sweep.create("t", "theorem", params={"nodes": 5},
+                         axes={"seed": [3, 4]}),
+            tmp_path / "b",
+            workers=1,
+        )
+        deltas = compare_runs(tmp_path / "a", tmp_path / "b")
+        missing = [d for d in deltas if d.metric == "<artifact>"]
+        assert len(missing) == 1
+        assert not missing[0].ok
+
+    def test_rtol_respected(self, tmp_path):
+        run_sweep(theorem_sweep(), tmp_path / "a", workers=1)
+        run_sweep(theorem_sweep(), tmp_path / "b", workers=1)
+        store = RunStore(tmp_path / "b")
+        artifact = store.artifacts()[0]
+        artifact["result"]["maxflow_on_full_g"] *= 1.03  # 3% drift
+        store.save_artifact(artifact["key"], artifact)
+        tight = compare_runs(tmp_path / "a", tmp_path / "b", rtol=0.01)
+        loose = compare_runs(tmp_path / "a", tmp_path / "b", rtol=0.10)
+        assert any(not d.ok for d in tight)
+        assert all(d.ok for d in loose)
+
+
+class TestCompareToPaper:
+    def test_theorem_run_passes_paper_check(self, tmp_path):
+        run_sweep(theorem_sweep(), tmp_path / "run", workers=1)
+        checks = compare_to_paper(tmp_path / "run")
+        assert len(checks) == 1
+        assert checks[0].metric == "holds"
+        assert checks[0].ok
+        assert "all within the stated bands" in render_paper_checks(checks)
+
+    def test_experiment_without_expectations_skipped(self, tmp_path):
+        sweep = Sweep.create("q", "reactive", params={"days": 0.5})
+        run_sweep(sweep, tmp_path / "run", workers=1)
+        assert compare_to_paper(tmp_path / "run") == []
+        assert "no artifacts" in render_paper_checks([])
+
+    def test_out_of_band_value_fails(self, tmp_path):
+        run_sweep(theorem_sweep(), tmp_path / "run", workers=1)
+        store = RunStore(tmp_path / "run")
+        artifact = store.artifacts()[0]
+        artifact["result"]["holds"] = False
+        store.save_artifact(artifact["key"], artifact)
+        checks = compare_to_paper(tmp_path / "run")
+        assert not checks[0].ok
+        assert "FAIL" in render_paper_checks(checks)
+
+    def test_expectation_tables_reference_real_metrics(self):
+        # every expectation metric must exist in its experiment's output;
+        # guard against the table and the registry drifting apart
+        from repro.experiments.registry import get_experiment
+
+        for experiment in PAPER_EXPECTATIONS:
+            get_experiment(experiment)  # raises if unregistered

@@ -1,0 +1,121 @@
+"""Tests for the experiment registry and content-addressed spec keys."""
+
+import pytest
+
+from repro.experiments import registry as registry_mod
+from repro.experiments.registry import (
+    ExecutionContext,
+    experiment_names,
+    get_experiment,
+    render_result,
+    resolve_params,
+    run_spec,
+    spec_key,
+)
+from repro.experiments.spec import ScenarioSpec
+
+
+class TestRegistry:
+    def test_headline_experiments_registered(self):
+        names = experiment_names()
+        for name in (
+            "study", "testbed", "tickets", "throughput",
+            "availability", "theorem", "reactive",
+        ):
+            assert name in names
+
+    def test_unknown_experiment_lists_known(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_experiment("frobnicate")
+
+    def test_resolve_params_merges_defaults(self):
+        spec = ScenarioSpec.create("s", "theorem", nodes=5)
+        params = resolve_params(spec)
+        assert params["nodes"] == 5
+        assert params["penalty"] == 100.0  # default preserved
+
+    def test_resolve_params_rejects_unknown(self):
+        spec = ScenarioSpec.create("s", "theorem", frobs=3)
+        with pytest.raises(KeyError, match="unknown parameter"):
+            resolve_params(spec)
+
+
+class TestSpecKey:
+    def test_defaults_spelled_out_share_key(self):
+        implicit = ScenarioSpec.create("a", "theorem")
+        explicit = ScenarioSpec.create(
+            "b", "theorem", nodes=8, penalty=100.0, seed=0
+        )
+        assert spec_key(implicit) == spec_key(explicit)
+
+    def test_param_change_changes_key(self):
+        a = ScenarioSpec.create("s", "theorem", seed=0)
+        b = ScenarioSpec.create("s", "theorem", seed=1)
+        assert spec_key(a) != spec_key(b)
+
+    def test_key_stable_across_calls(self):
+        spec = ScenarioSpec.create("s", "theorem")
+        assert spec_key(spec) == spec_key(spec)
+
+    def test_code_fingerprint_in_key(self, monkeypatch):
+        spec = ScenarioSpec.create("s", "theorem")
+        before = spec_key(spec)
+        monkeypatch.setattr(
+            registry_mod, "fingerprint_modules", lambda modules: "different"
+        )
+        assert spec_key(spec) != before
+
+    def test_execution_context_not_in_key(self):
+        # workers/cache are how-to-run, not what-to-run
+        spec = ScenarioSpec.create("s", "theorem")
+        key = spec_key(spec)
+        run_spec(spec, ExecutionContext(workers=3, cache=False))
+        assert spec_key(spec) == key
+
+
+class TestRunSpec:
+    def test_theorem_runs_and_renders(self):
+        spec = ScenarioSpec.create("s", "theorem", nodes=5, seed=3)
+        result = run_spec(spec)
+        assert result["holds"] is True
+        text = render_result("theorem", result)
+        assert "Theorem 1 holds: True" in text
+
+    def test_reactive_runs(self):
+        spec = ScenarioSpec.create("s", "reactive", days=0.5, seed=1)
+        result = run_spec(spec)
+        assert result["policy"] == "run"
+        assert result["n_scheduled_rounds"] >= 1
+        assert "rounds:" in render_result("reactive", result)
+
+    def test_reactive_rejects_bad_policy(self):
+        spec = ScenarioSpec.create("s", "reactive", policy="sprint")
+        with pytest.raises(ValueError, match="unknown policy"):
+            run_spec(spec)
+
+    def test_run_is_deterministic(self):
+        spec = ScenarioSpec.create("s", "reactive", days=0.5, seed=5)
+        assert run_spec(spec) == run_spec(spec)
+
+    def test_tickets_uses_component_seed_derivation(self):
+        from repro.seeds import component_rng
+        from repro.tickets import TicketGenerator
+
+        spec = ScenarioSpec.create("s", "tickets", seed=2017)
+        result = run_spec(spec)
+        corpus = TicketGenerator().generate(component_rng(2017, "tickets"))
+        assert result["n_tickets"] == len(corpus)
+        # same derivation => identical corpus => identical opportunity area
+        from repro.tickets import opportunity_area
+
+        area = opportunity_area(corpus)
+        assert result["opportunity_frequency"] == float(
+            area.opportunity_frequency
+        )
+
+    def test_metrics_are_json_clean(self):
+        import json
+
+        spec = ScenarioSpec.create("s", "reactive", days=0.5)
+        payload = json.dumps(run_spec(spec))
+        assert json.loads(payload)["mode"] == "reactive"

@@ -1,0 +1,122 @@
+"""End-to-end resume smoke: kill a sweep mid-flight, resume, verify.
+
+Mirrors the CI smoke job: a 2-point sweep is interrupted after its
+first artifact lands, then resumed — the manifest of the resume session
+must show exactly one ``reused`` and one ``fresh`` entry, proving the
+runner trusts completed artifacts and re-runs only the missing points.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.store import RunStore
+
+REPO = Path(__file__).parents[2]
+
+
+def write_sweep(tmp_path):
+    spec = {
+        "name": "smoke",
+        "experiment": "theorem",
+        "params": {"nodes": 5},
+        "axes": {"seed": [3, 4]},
+    }
+    path = tmp_path / "smoke.json"
+    path.write_text(json.dumps(spec))
+    return path
+
+
+def run_cli(args, tmp_path, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_SWEEP_DIR"] = str(tmp_path / "sweeps")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+        **kwargs,
+    )
+
+
+class TestResumeSmoke:
+    def test_capped_run_then_resume(self, tmp_path):
+        """Deterministic variant: --max-runs 1 stands in for the kill."""
+        spec = write_sweep(tmp_path)
+        out = tmp_path / "run"
+
+        first = run_cli(
+            ["sweep", "run", str(spec), "--out", str(out), "--max-runs", "1"],
+            tmp_path,
+        )
+        assert first.returncode == 1, first.stderr  # incomplete => 1
+        assert "1 fresh" in first.stdout and "1 pending" in first.stdout
+
+        second = run_cli(["sweep", "resume", str(out)], tmp_path)
+        assert second.returncode == 0, second.stderr
+        assert "1 fresh, 1 reused" in second.stdout
+
+        # manifest of the resume session: exactly one reused, one fresh
+        entries = RunStore(out).manifest()
+        resumed = entries[1:]  # first session wrote exactly one line
+        assert [e["status"] for e in entries[:1]] == ["fresh"]
+        assert sorted(e["status"] for e in resumed) == ["fresh", "reused"]
+        assert len(RunStore(out).artifacts()) == 2
+
+    def test_sigkill_then_resume(self, tmp_path):
+        """The real thing: SIGKILL the runner once the first artifact lands."""
+        spec = write_sweep(tmp_path)
+        out = tmp_path / "run"
+        store = RunStore(out)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        env["REPRO_SWEEP_DIR"] = str(tmp_path / "sweeps")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "sweep", "run",
+                str(spec), "--out", str(out),
+            ],
+            env=env,
+            cwd=REPO,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    break  # finished before we could kill it — fine too
+                if len(store.artifacts()) >= 1:
+                    proc.kill()
+                    proc.wait(timeout=30)
+                    break
+                time.sleep(0.02)
+            else:
+                proc.kill()
+                pytest.fail("sweep produced no artifact within 60s")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        n_before = len(store.artifacts())
+        assert n_before >= 1  # the kill landed after >= 1 artifact
+
+        resumed = run_cli(["sweep", "resume", str(out)], tmp_path)
+        assert resumed.returncode == 0, resumed.stderr
+        assert len(store.artifacts()) == 2
+        # every pre-kill artifact was reused, the rest ran fresh
+        session = RunStore(out).manifest()[-2:]
+        statuses = sorted(e["status"] for e in session)
+        expected = ["fresh"] * (2 - n_before) + ["reused"] * n_before
+        assert statuses == sorted(expected), session

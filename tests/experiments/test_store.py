@@ -1,0 +1,147 @@
+"""Tests for the artifact store and manifest journal."""
+
+import json
+
+import pytest
+
+from repro.experiments.spec import Sweep
+from repro.experiments.store import (
+    ManifestEntry,
+    RunStore,
+    list_runs,
+    resolve_run_dir,
+    run_dir_for,
+    sweep_id,
+)
+
+
+def make_sweep(name="q"):
+    return Sweep.create(name, "reactive", axes={"seed": [1, 2]})
+
+
+class TestRunDir:
+    def test_run_dir_is_stable(self, tmp_path):
+        sweep = make_sweep()
+        assert run_dir_for(sweep, tmp_path) == run_dir_for(sweep, tmp_path)
+
+    def test_different_sweeps_different_dirs(self, tmp_path):
+        assert run_dir_for(make_sweep(), tmp_path) != run_dir_for(
+            Sweep.create("q", "reactive", axes={"seed": [1, 3]}), tmp_path
+        )
+
+    def test_sweep_id_covers_definition_not_name_only(self):
+        a = make_sweep()
+        b = Sweep.create("q", "reactive", axes={"seed": [9]})
+        assert sweep_id(a) != sweep_id(b)
+
+    def test_slash_in_name_is_sanitised(self, tmp_path):
+        sweep = Sweep.create("a/b", "reactive", axes={"seed": [1]})
+        assert "/" not in run_dir_for(sweep, tmp_path).name
+
+
+class TestInitialise:
+    def test_pins_sweep(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.initialise(make_sweep())
+        assert store.exists()
+        assert store.load_sweep() == make_sweep()
+
+    def test_reinitialise_same_sweep_ok(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.initialise(make_sweep())
+        store.initialise(make_sweep())  # no error
+
+    def test_reinitialise_different_sweep_refused(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.initialise(make_sweep())
+        with pytest.raises(ValueError, match="different sweep"):
+            store.initialise(Sweep.create("other", "study"))
+
+
+class TestArtifacts:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.initialise(make_sweep())
+        store.save_artifact("k1", {"result": {"x": 1}, "spec": {"name": "p"}})
+        loaded = store.load_artifact("k1")
+        assert loaded["result"] == {"x": 1}
+        assert loaded["key"] == "k1"
+
+    def test_missing_artifact_is_none(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        assert store.load_artifact("nope") is None
+        assert not store.has_artifact("nope")
+
+    def test_corrupt_artifact_treated_as_miss_and_removed(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.initialise(make_sweep())
+        store.artifact_path("bad").write_text("{ torn json")
+        assert store.load_artifact("bad") is None
+        assert not store.artifact_path("bad").exists()
+
+    def test_key_mismatch_treated_as_miss(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.initialise(make_sweep())
+        store.save_artifact("k1", {"spec": {"name": "p"}})
+        # copy k1's payload under a different key: stale rename attack
+        store.artifact_path("k2").write_text(
+            store.artifact_path("k1").read_text()
+        )
+        assert store.load_artifact("k2") is None
+
+    def test_artifacts_sorted_by_spec_name(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.initialise(make_sweep())
+        store.save_artifact("zz", {"spec": {"name": "a"}})
+        store.save_artifact("aa", {"spec": {"name": "b"}})
+        assert [a["spec"]["name"] for a in store.artifacts()] == ["a", "b"]
+
+
+class TestManifest:
+    def test_append_order_preserved(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.append_manifest(ManifestEntry("p1", "k1", "fresh", 1.0))
+        store.append_manifest(ManifestEntry("p2", "k2", "reused"))
+        statuses = [e["status"] for e in store.manifest()]
+        assert statuses == ["fresh", "reused"]
+
+    def test_torn_final_line_skipped(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.append_manifest(ManifestEntry("p1", "k1", "fresh"))
+        with store.manifest_path.open("a") as handle:
+            handle.write('{"name": "p2", "status"')  # killed mid-append
+        entries = store.manifest()
+        assert len(entries) == 1
+        assert entries[0]["name"] == "p1"
+
+    def test_error_recorded(self, tmp_path):
+        store = RunStore(tmp_path / "run")
+        store.append_manifest(ManifestEntry("p", "k", "failed", 0.1, "boom"))
+        assert store.manifest()[0]["error"] == "boom"
+
+    def test_missing_manifest_is_empty(self, tmp_path):
+        assert RunStore(tmp_path / "run").manifest() == []
+
+
+class TestListAndResolve:
+    def test_list_runs(self, tmp_path):
+        store = RunStore(run_dir_for(make_sweep(), tmp_path))
+        store.initialise(make_sweep())
+        runs = list_runs(tmp_path)
+        assert len(runs) == 1
+        assert runs[0]["sweep"] == "q"
+        assert runs[0]["n_points"] == 2
+
+    def test_list_skips_non_run_dirs(self, tmp_path):
+        (tmp_path / "junk").mkdir()
+        assert list_runs(tmp_path) == []
+
+    def test_resolve_by_path_and_by_name(self, tmp_path):
+        run_dir = run_dir_for(make_sweep(), tmp_path)
+        RunStore(run_dir).initialise(make_sweep())
+        assert resolve_run_dir(str(run_dir), tmp_path) == run_dir
+        assert resolve_run_dir(run_dir.name, tmp_path) == run_dir
+
+    def test_resolve_unknown_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            resolve_run_dir("ghost", tmp_path)

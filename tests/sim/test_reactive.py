@@ -93,3 +93,44 @@ class TestModes:
     def test_throughput_tracked(self):
         result = run("reactive", events=[DIP])
         assert result.mean_throughput_gbps > 0
+
+
+#: a shallow 1 dB dip from a 16 dB baseline: never crosses the 200G
+#: threshold (14.5 dB), so reactive mode is blind to it — but it is
+#: ~12 sigma of the 0.08 dB noise floor, so the EWMA detector flags it
+SHALLOW_DIP = AmplifierDegradation(2.0 * 86_400.0 + 2_700.0, 6 * 3600.0, 1.0)
+
+
+def run_high_margin(mode):
+    topo, traces, demands = build_scenario(
+        events=[SHALLOW_DIP], baseline=16.0
+    )
+    controller = DynamicCapacityController(topo, policy=run_policy(), seed=0)
+    return reactive_replay(controller, traces, demands, mode=mode)
+
+
+class TestProactiveEwma:
+    """Proactive mode acts on EWMA dip alarms, not threshold crossings."""
+
+    def test_shallow_dip_invisible_to_reactive(self):
+        result = run_high_margin("reactive")
+        assert result.n_emergency_rounds == 0
+        assert result.lost_gbps_hours == pytest.approx(0.0)
+
+    def test_shallow_dip_triggers_proactive_emergency(self):
+        # the pessimistic view (snr - 4 dB) drops the dipping link below
+        # the 200G rung, so the policy walks it down ahead of any crossing
+        result = run_high_margin("proactive")
+        assert result.n_emergency_rounds >= 1
+
+    def test_proactive_emergencies_are_bounded(self):
+        # the fire-only-if-the-policy-would-act guard: one shallow dip
+        # must not trigger a round at every 15-minute sample
+        result = run_high_margin("proactive")
+        assert result.n_emergency_rounds < 12
+
+    def test_proactive_no_loss_on_shallow_dip(self):
+        # walking down early keeps every configured threshold below the
+        # actual SNR, so no reaction lag is ever charged
+        result = run_high_margin("proactive")
+        assert result.lost_gbps_hours == pytest.approx(0.0)

@@ -100,3 +100,48 @@ class TestReplayTickets:
             replay_tickets(
                 topo, [Demand("n0", "n2", 1.0)], [], duplex_srlgs(topo)
             )
+
+
+class TestDeterminism:
+    """Replays must be bit-identical: artifacts are content-addressed by
+    spec hash, so two runs of the same spec must agree to the last bit."""
+
+    def _replay(self):
+        from repro.seeds import component_rng
+        from repro.tickets.generator import TicketConfig, TicketGenerator
+
+        topo = figure7_topology()
+        srlgs = duplex_srlgs(topo)
+        cables = sorted(srlgs.groups)
+        corpus = TicketGenerator(TicketConfig(n_events=40)).generate(
+            component_rng(2017, "tickets")
+        )
+        # retarget the generated tickets onto this topology's cables
+        retargeted = [
+            Ticket(
+                ticket_id=t.ticket_id,
+                root_cause=t.root_cause,
+                opened_s=t.opened_s,
+                duration_s=t.duration_s,
+                element=cables[i % len(cables)],
+            )
+            for i, t in enumerate(corpus)
+        ]
+        demands = [Demand("A", "D", 150.0), Demand("B", "C", 80.0)]
+        return replay_tickets(topo, demands, retargeted, srlgs)
+
+    def test_verdicts_bit_identical_across_runs(self):
+        first = self._replay()
+        second = self._replay()
+        assert first.n_tickets == second.n_tickets
+        for a, b in zip(first.verdicts, second.verdicts):
+            assert a.ticket.ticket_id == b.ticket.ticket_id
+            # exact equality on purpose: no approx — same spec hash
+            # must mean byte-identical artifact payloads
+            assert a.binary_loss_gbps == b.binary_loss_gbps
+            assert a.dynamic_loss_gbps == b.dynamic_loss_gbps
+            assert a.rescued_gbps == b.rescued_gbps
+            assert a.rescued_gbps_hours == b.rescued_gbps_hours
+        assert (
+            first.total_rescued_gbps_hours == second.total_rescued_gbps_hours
+        )

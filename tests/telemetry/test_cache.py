@@ -57,7 +57,7 @@ class TestKeys:
 
     def test_key_includes_code_fingerprint(self, tiny_config, monkeypatch):
         before = cache.dataset_key(tiny_config, DEFAULT_MODULATIONS)
-        monkeypatch.setattr(cache, "_code_fingerprint_cache", "different")
+        monkeypatch.setattr(cache, "code_fingerprint", lambda: "different")
         assert cache.dataset_key(tiny_config, DEFAULT_MODULATIONS) != before
 
 

@@ -124,25 +124,25 @@ class TestParallelSynthesis:
             np.testing.assert_array_equal(p.snr_db, s.snr_db)
 
     def test_thread_pool_fallback_bit_identical(self, monkeypatch):
-        from repro.telemetry import dataset as dataset_mod
+        from repro import parallel as parallel_mod
 
-        monkeypatch.setattr(dataset_mod, "_process_pool_ok", False)
+        monkeypatch.setattr(parallel_mod, "_process_pool_ok", False)
         dataset = BackboneDataset(BackboneConfig.small(years=0.05, n_cables=3))
         serial = dataset.summaries(workers=1, cache=False)
         threaded = dataset.summaries(workers=3, cache=False)
         assert threaded == serial
 
     def test_workers_env_var(self, monkeypatch):
-        from repro.telemetry.dataset import _resolve_workers
+        from repro.parallel import resolve_workers
 
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
-        assert _resolve_workers(None) == 1
-        assert _resolve_workers(3) == 3
-        assert _resolve_workers(0) == 1
+        assert resolve_workers(None) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == 1
         monkeypatch.setenv("REPRO_WORKERS", "5")
-        assert _resolve_workers(None) == 5
+        assert resolve_workers(None) == 5
         monkeypatch.setenv("REPRO_WORKERS", "junk")
-        assert _resolve_workers(None) == 1
+        assert resolve_workers(None) == 1
 
 
 class TestHighQualityCable:

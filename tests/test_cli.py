@@ -54,3 +54,107 @@ class TestCommands:
     def test_availability_small(self, capsys):
         assert main(["availability", "--cables", "2", "--years", "0.1"]) == 0
         assert "binary failures" in capsys.readouterr().out
+
+
+class TestGlobalFlags:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+    def test_flags_accepted_before_subcommand(self):
+        args = build_parser().parse_args(["--workers", "3", "tickets"])
+        assert args.workers == 3
+
+    def test_flags_accepted_after_subcommand(self):
+        args = build_parser().parse_args(["tickets", "--workers", "3"])
+        assert args.workers == 3
+
+    def test_subcommand_flag_overrides_root(self):
+        args = build_parser().parse_args(
+            ["--workers", "1", "tickets", "--workers", "5"]
+        )
+        assert args.workers == 5
+
+    def test_flag_after_subcommand_does_not_clobber_root(self):
+        # the SUPPRESS parent parser must not reset root values
+        args = build_parser().parse_args(["--workers", "4", "tickets"])
+        assert args.workers == 4
+        assert args.no_cache is False
+
+    def test_no_cache_positions(self):
+        assert build_parser().parse_args(["--no-cache", "tickets"]).no_cache
+        assert build_parser().parse_args(["tickets", "--no-cache"]).no_cache
+
+    def test_reactive_command(self, capsys):
+        assert main(["reactive", "--days", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "mode=reactive" in out
+        assert "rounds:" in out
+
+
+class TestSweepCommands:
+    @pytest.fixture(autouse=True)
+    def sweep_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_DIR", str(tmp_path / "sweeps"))
+        return tmp_path
+
+    def write_spec(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({
+            "name": "t", "experiment": "theorem",
+            "params": {"nodes": 5}, "axes": {"seed": [3, 4]},
+        }))
+        return path
+
+    def test_run_then_reuse(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        assert main(["sweep", "run", str(spec)]) == 0
+        assert "2 fresh" in capsys.readouterr().out
+        assert main(["sweep", "run", str(spec)]) == 0
+        assert "2 reused" in capsys.readouterr().out
+
+    def test_list_and_show(self, tmp_path, capsys):
+        main(["sweep", "run", str(self.write_spec(tmp_path))])
+        capsys.readouterr()
+        assert main(["sweep", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "theorem" in out
+        run_name = [l for l in out.splitlines() if l.startswith("t-")][0].split()[0]
+        assert main(["sweep", "show", run_name]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 points done" in out
+        assert "Theorem 1 holds: True" in out
+
+    def test_resume_after_cap(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        out_dir = str(tmp_path / "run")
+        assert main(["sweep", "run", str(spec), "--out", out_dir,
+                     "--max-runs", "1"]) == 1
+        capsys.readouterr()
+        assert main(["sweep", "resume", out_dir]) == 0
+        assert "1 fresh, 1 reused" in capsys.readouterr().out
+
+    def test_compare_to_paper(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        out_dir = str(tmp_path / "run")
+        main(["sweep", "run", str(spec), "--out", out_dir])
+        capsys.readouterr()
+        assert main(["sweep", "compare", out_dir]) == 0
+        assert "within the stated bands" in capsys.readouterr().out
+
+    def test_compare_two_runs(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        main(["sweep", "run", str(spec), "--out", a])
+        main(["sweep", "run", str(spec), "--out", b])
+        capsys.readouterr()
+        assert main(["sweep", "compare", a, b]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_compare_unknown_run_exits_nonzero(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["sweep", "compare", "ghost"])

@@ -102,3 +102,91 @@ class TestModuleLevelRegistry:
         assert perf.timer_stat("module.level").count == 1
         assert perf.event_count("module.event") == 1
         perf.reset()
+
+
+class TestIsolated:
+    def test_isolated_registry_captures_records(self):
+        from repro import perf
+
+        perf.reset()
+        with perf.isolated() as reg:
+            perf.record("iso.work", 1.0)
+            perf.event("iso.hit")
+            assert perf.current() is reg
+        assert reg.timer_stat("iso.work").count == 1
+        assert reg.event_count("iso.hit") == 1
+        # nothing leaked into the default registry
+        assert perf.timer_stat("iso.work") is None
+        assert perf.event_count("iso.hit") == 0
+        assert perf.current() is perf.REGISTRY
+
+    def test_back_to_back_runs_do_not_accumulate(self):
+        from repro import perf
+
+        reports = []
+        for _ in range(2):
+            with perf.isolated() as reg:
+                perf.record("run.step", 1.0)
+                reports.append(reg.collect())
+        assert all(r["timers"]["run.step"]["count"] == 1 for r in reports)
+
+    def test_nesting_restores_outer(self):
+        from repro import perf
+
+        with perf.isolated() as outer:
+            perf.record("outer.only", 1.0)
+            with perf.isolated() as inner:
+                perf.record("inner.only", 1.0)
+            perf.record("outer.only", 1.0)
+        assert inner.timer_stat("inner.only").count == 1
+        assert inner.timer_stat("outer.only") is None
+        assert outer.timer_stat("outer.only").count == 2
+        assert outer.timer_stat("inner.only") is None
+
+    def test_restored_on_exception(self):
+        from repro import perf
+
+        with pytest.raises(RuntimeError):
+            with perf.isolated():
+                raise RuntimeError("boom")
+        assert perf.current() is perf.REGISTRY
+
+    def test_threads_are_independent(self):
+        import threading
+
+        from repro import perf
+
+        errors = []
+
+        def worker(tag):
+            try:
+                with perf.isolated() as reg:
+                    for _ in range(50):
+                        perf.record(tag, 1.0)
+                assert reg.timer_stat(tag).count == 50
+                for other in ("t0", "t1"):
+                    if other != tag:
+                        assert reg.timer_stat(other) is None
+            except AssertionError as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_explicit_registry_reused(self):
+        from repro import perf
+        from repro.perf import PerfRegistry
+
+        reg = PerfRegistry()
+        with perf.isolated(reg) as got:
+            perf.record("again", 1.0)
+        assert got is reg
+        with perf.isolated(reg):
+            perf.record("again", 1.0)
+        assert reg.timer_stat("again").count == 2
