@@ -1,0 +1,38 @@
+"""Regenerate the golden metric JSON files.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/generate_goldens.py [--out DIR]
+
+Writes one ``<scenario>.json`` per scenario (default: next to this
+file).  The committed copies were produced by the pre-engine loop
+implementations; regenerating them after a behaviour change is an
+explicit decision, not something a test does implicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent.parent))
+
+from tests.golden.scenarios import run_all  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=pathlib.Path, default=HERE)
+    args = parser.parse_args(argv)
+    args.out.mkdir(parents=True, exist_ok=True)
+    for name, text in run_all().items():
+        path = args.out / f"{name}.json"
+        path.write_text(text)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
