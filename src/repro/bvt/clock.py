@@ -1,30 +1,11 @@
-"""A simulated wall clock.
+"""Back-compat shim: :class:`SimClock` now lives in :mod:`repro.engine`.
 
-The transceiver model never sleeps; every hardware step *advances* this
-clock by the step's drawn duration.  Tests and the testbed harness read
-timestamps off it, so a 200-trial experiment that would take hours of
-real hardware time runs in milliseconds.
+The simulated clock started life here as the transceiver model's time
+source; the event-engine refactor promoted it to the shared timeline
+clock of every simulator.  Import from :mod:`repro.engine.clock` (or
+:mod:`repro.engine`) in new code.
 """
 
-from __future__ import annotations
+from repro.engine.clock import SimClock
 
-
-class SimClock:
-    """Monotonic simulated time in seconds."""
-
-    def __init__(self, start_s: float = 0.0):
-        self._now = float(start_s)
-
-    @property
-    def now_s(self) -> float:
-        return self._now
-
-    def advance(self, dt_s: float) -> float:
-        """Move time forward by ``dt_s`` (never backward); returns now."""
-        if dt_s < 0:
-            raise ValueError(f"cannot advance by negative time {dt_s}")
-        self._now += dt_s
-        return self._now
-
-    def __repr__(self) -> str:
-        return f"SimClock(t={self._now:.3f}s)"
+__all__ = ["SimClock"]

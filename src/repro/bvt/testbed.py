@@ -9,6 +9,12 @@ the same experiment against the simulator:
   ladder ``n`` times for each procedure and collects downtime samples;
 * :meth:`Testbed.capture_constellation` samples the received
   constellation at the testbed's operating SNR for any supported rate.
+
+The repeat-trial experiment is an engine scenario sharing the BVT's
+clock: every ladder target is a ``bvt.request`` event, the handler
+drives the hardware model (which advances the shared clock by each
+step's drawn duration) and publishes a ``bvt.reconfigured`` completion
+carrying the change result — the latency stream Figure 6b plots.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bvt.transceiver import Bvt, ChangeProcedure
+from repro.engine import Engine, Event, SequenceSource
 from repro.optics.constellation import Constellation, ConstellationSample
 from repro.optics.fiber import FiberCable, LineSystem
 from repro.optics.modulation import DEFAULT_MODULATIONS, ModulationTable
@@ -103,12 +110,26 @@ class Testbed:
         """Perform ``n_changes`` distinct re-modulations; return downtimes (s)."""
         if n_changes <= 0:
             raise ValueError("need at least one change")
-        downtimes = []
-        for capacity in self._ladder_cycle(n_changes):
+        downtimes: list[float] = []
+        engine = Engine(clock=self.bvt.clock)
+
+        def on_request(event: Event) -> None:
+            _, capacity = event.payload
             result = self.bvt.change_modulation(
                 capacity, self._rng, procedure=procedure
             )
             downtimes.append(result.downtime_s)
+            engine.publish("bvt.reconfigured", result)
+
+        engine.subscribe("bvt.request", on_request)
+        engine.add_source(
+            SequenceSource(
+                "bvt.request",
+                self._ladder_cycle(n_changes),
+                time_s=self.bvt.clock.now_s,
+            )
+        )
+        engine.run()
         return np.asarray(downtimes)
 
     def run_figure6_experiment(self, n_changes: int = 200) -> TestbedReport:

@@ -12,7 +12,8 @@ canonical rendering — exactly what a sweep artifact would replay:
 * ``throughput``   — static vs. dynamic TE sweep;
 * ``availability`` — binary failures vs. dynamic flaps;
 * ``theorem``      — the Theorem-1 equivalence check on a random WAN;
-* ``reactive``     — reaction-lag replay (scheduled/reactive/proactive).
+* ``reactive``     — reaction-lag replay (scheduled/reactive/proactive);
+* ``whatif``       — ticket-corpus what-if replay (binary vs dynamic).
 
 ``sweep`` drives grids of those experiments::
 
@@ -118,6 +119,18 @@ def _cmd_reactive(args: argparse.Namespace) -> int:
         policy=args.policy,
         seed=args.seed,
         te_interval_h=args.te_interval_h,
+    )
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    return _run_and_render(
+        args,
+        "whatif",
+        tickets=args.tickets,
+        months=args.months,
+        offered_gbps=args.offered_gbps,
+        fallback_gbps=args.fallback_gbps,
+        seed=args.seed,
     )
 
 
@@ -353,6 +366,16 @@ def build_parser() -> argparse.ArgumentParser:
     reactive.add_argument("--seed", type=int, default=1)
     reactive.add_argument("--te-interval-h", type=float, default=4.0)
     reactive.set_defaults(handler=_cmd_reactive)
+
+    whatif = sub.add_parser(
+        "whatif", parents=[shared], help="ticket-corpus what-if replay"
+    )
+    whatif.add_argument("--tickets", type=int, default=40)
+    whatif.add_argument("--months", type=float, default=7.0)
+    whatif.add_argument("--offered-gbps", type=float, default=300.0)
+    whatif.add_argument("--fallback-gbps", type=float, default=50.0)
+    whatif.add_argument("--seed", type=int, default=2017)
+    whatif.set_defaults(handler=_cmd_whatif)
 
     export = sub.add_parser(
         "export", parents=[shared], help="write per-figure CSV data"

@@ -23,7 +23,7 @@ paper's point: SWAN/B4/CSPF run here without modification.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -172,6 +172,43 @@ class DynamicCapacityController:
             capacity_gbps, self._rng, procedure=self.procedure
         )
         return result.downtime_s
+
+    # -- engine integration ---------------------------------------------------
+
+    def make_round_handler(
+        self,
+        demands: Sequence[Demand],
+        *,
+        engine: "Any | None" = None,
+        collect: "Callable[[Any, ControllerReport], None] | None" = None,
+    ) -> "Callable[[Any], ControllerReport]":
+        """Adapt :meth:`step` into an event handler for TE-round events.
+
+        The returned handler expects events whose payload is a
+        :class:`~repro.engine.TelemetrySample` (``snr_db`` mapping plus
+        grid position), runs one control-loop round on it, and
+
+        * hands ``(sample, report)`` to ``collect`` for scenario-side
+          accounting, and
+        * publishes a ``controller.report`` notification on ``engine``
+          so observers can meter every round without threading state
+          through the scenario.
+
+        The handler is a pure adapter: it draws no randomness and
+        reorders nothing, so an engine-hosted replay is bit-identical
+        to calling :meth:`step` in a loop.
+        """
+
+        def handle(event: "Any") -> ControllerReport:
+            sample = event.payload
+            report = self.step(sample.snr_db, demands)
+            if collect is not None:
+                collect(sample, report)
+            if engine is not None:
+                engine.publish("controller.report", report)
+            return report
+
+        return handle
 
     # -- the control loop -----------------------------------------------------
 

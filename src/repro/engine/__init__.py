@@ -1,0 +1,39 @@
+"""The discrete-event engine every simulator runs on.
+
+One unmodified control loop serving every scenario is the paper's core
+argument; this package is the reproduction's version of that argument
+applied to itself.  :mod:`repro.engine.kernel` is the deterministic
+timeline (priority-queue event loop, shared :class:`SimClock`,
+component-keyed RNG); :mod:`repro.engine.sources` supplies the stock
+event streams (telemetry samples, scheduled TE rounds, ticket outage
+windows, EWMA alarms).  The simulators in :mod:`repro.sim` and the BVT
+testbed are thin scenario definitions over this kernel — handlers, not
+loops.
+"""
+
+from repro.engine.clock import SimClock
+from repro.engine.kernel import Engine, EngineStats, Event, EventSource
+from repro.engine.sources import (
+    EwmaAlarmMonitor,
+    ScheduledRounds,
+    SequenceSource,
+    TelemetryFeed,
+    TelemetrySample,
+    TelemetrySource,
+    TicketOutageSource,
+)
+
+__all__ = [
+    "SimClock",
+    "Engine",
+    "EngineStats",
+    "Event",
+    "EventSource",
+    "TelemetryFeed",
+    "TelemetrySample",
+    "TelemetrySource",
+    "ScheduledRounds",
+    "SequenceSource",
+    "TicketOutageSource",
+    "EwmaAlarmMonitor",
+]

@@ -12,6 +12,12 @@ matrix is solved with the same TE objective:
 * baseline — all cables healthy;
 * binary   — the cable's links removed;
 * dynamic  — the cable's links degraded to the fallback rate.
+
+The drill runs as an engine scenario: a
+:class:`~repro.engine.SequenceSource` puts one ``cable.event`` per
+cable on the timeline, and the handler solves its scenario pair —
+giving the fail-vs-flap matrix the same observer/metrics surface as
+the timed replays.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.engine import Engine, Event, SequenceSource
 from repro.net.demands import Demand
 from repro.net.srlg import SrlgMap, degrade_cable, fail_cable
 from repro.net.topology import Topology
@@ -104,18 +111,30 @@ def cable_event_impacts(
         raise ValueError(f"SRLG map references unknown links: {missing[:5]}")
     baseline = te_algorithm(topology, demands).total_allocated_gbps
 
-    impacts = []
-    for cable in cables if cables is not None else srlgs.cables():
+    impacts: list[CableImpact] = []
+    engine = Engine()
+
+    def on_cable_event(event: Event) -> None:
+        _, cable = event.payload
         failed = fail_cable(topology, srlgs, cable)
         flapped = degrade_cable(
             topology, srlgs, cable, capacity_gbps=fallback_capacity_gbps
         )
-        impacts.append(
-            CableImpact(
-                cable=cable,
-                baseline_gbps=baseline,
-                binary_gbps=te_algorithm(failed, demands).total_allocated_gbps,
-                dynamic_gbps=te_algorithm(flapped, demands).total_allocated_gbps,
-            )
+        impact = CableImpact(
+            cable=cable,
+            baseline_gbps=baseline,
+            binary_gbps=te_algorithm(failed, demands).total_allocated_gbps,
+            dynamic_gbps=te_algorithm(flapped, demands).total_allocated_gbps,
         )
+        impacts.append(impact)
+        engine.publish("cable.impact", impact)
+
+    engine.subscribe("cable.event", on_cable_event)
+    engine.add_source(
+        SequenceSource(
+            "cable.event",
+            list(cables if cables is not None else srlgs.cables()),
+        )
+    )
+    engine.run()
     return NetworkAvailabilityReport(impacts=tuple(impacts))

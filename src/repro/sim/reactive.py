@@ -16,6 +16,13 @@ telemetry at full 15-minute resolution and charges that *reaction lag*:
 * between rounds, any sample where a link's SNR is below its configured
   threshold loses that link's traffic for the sample — the quantity the
   modes compete on.
+
+The walk is an engine scenario: a
+:class:`~repro.engine.TelemetrySource` streams one ``telemetry.sample``
+event per grid point, the :class:`~repro.engine.EwmaAlarmMonitor` turns
+dips into ``anomaly.alarm`` events, and the sample handler publishes a
+``te.round`` or ``te.emergency`` notification for every control-loop
+step it triggers.
 """
 
 from __future__ import annotations
@@ -26,9 +33,18 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.controller import DynamicCapacityController
+from repro.engine import (
+    Engine,
+    Event,
+    EwmaAlarmMonitor,
+    SimClock,
+    TelemetryFeed,
+    TelemetrySource,
+)
 from repro.net.demands import Demand
-from repro.telemetry.anomaly import EwmaDipDetector, SignalState
 from repro.telemetry.traces import SnrTrace
+
+_MODES = ("scheduled", "reactive", "proactive")
 
 
 @dataclass(frozen=True)
@@ -47,6 +63,109 @@ class ReactiveResult:
     @property
     def total_rounds(self) -> int:
         return self.n_scheduled_rounds + self.n_emergency_rounds
+
+
+class _ReactionScenario:
+    """Per-sample event handler charging reaction lag between rounds."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        controller: DynamicCapacityController,
+        demands: Sequence[Demand],
+        *,
+        mode: str,
+        stride: int,
+        interval_h: float,
+        pessimism_db: float,
+        monitor: EwmaAlarmMonitor | None,
+    ):
+        self.engine = engine
+        self.controller = controller
+        self.demands = demands
+        self.mode = mode
+        self.stride = stride
+        self.interval_h = interval_h
+        self.pessimism_db = pessimism_db
+        self.monitor = monitor
+        self.n_scheduled = 0
+        self.n_emergency = 0
+        self.lost_gbps_hours = 0.0
+        self.throughputs: list[float] = []
+        self.last_solution = None
+
+    def on_sample(self, event: Event) -> None:
+        sample = event.payload
+        snrs = sample.snr_db
+        controller = self.controller
+        in_dip: set[str] = set()
+        if self.monitor is not None:
+            in_dip = self.monitor.observe(self.engine, sample)
+
+        # 1. charge reaction lag: links below their configured threshold
+        if self.last_solution is not None:
+            for link_id, snr in snrs.items():
+                capacity = controller.capacity.get(link_id, 0.0)
+                if capacity <= 0:
+                    continue
+                threshold = controller.table.required_snr(capacity)
+                if snr < threshold:
+                    self.lost_gbps_hours += (
+                        self.last_solution.link_flow(link_id) * self.interval_h
+                    )
+
+        # 2. decide whether to run the controller now
+        scheduled = sample.index % self.stride == 0
+        emergency = False
+        if not scheduled and self.mode != "scheduled":
+            for link_id, snr in snrs.items():
+                capacity = controller.capacity.get(link_id, 0.0)
+                if capacity <= 0:
+                    continue
+                if snr < controller.table.required_snr(capacity):
+                    emergency = True
+                    break
+                if self.mode == "proactive" and link_id in in_dip:
+                    # fire only if the pessimistic view would actually
+                    # change this link — otherwise a long dip would
+                    # trigger a round at every sample
+                    pessimistic = max(snr - self.pessimism_db, 0.0)
+                    target = controller.policy.target_capacity_gbps(
+                        capacity, pessimistic
+                    )
+                    if target < capacity:
+                        emergency = True
+                        break
+        if not (scheduled or emergency):
+            return
+
+        effective = dict(snrs)
+        if self.mode == "proactive":
+            for link_id in in_dip:
+                effective[link_id] = max(
+                    snrs[link_id] - self.pessimism_db, 0.0
+                )
+        report = controller.step(effective, self.demands)
+        self.last_solution = report.solution
+        self.throughputs.append(report.throughput_gbps)
+        if scheduled:
+            self.n_scheduled += 1
+            self.engine.publish("te.round", report)
+        else:
+            self.n_emergency += 1
+            self.engine.publish("te.emergency", report)
+
+    def result(self) -> ReactiveResult:
+        return ReactiveResult(
+            mode=self.mode,
+            n_scheduled_rounds=self.n_scheduled,
+            n_emergency_rounds=self.n_emergency,
+            lost_gbps_hours=self.lost_gbps_hours,
+            mean_throughput_gbps=(
+                float(np.mean(self.throughputs)) if self.throughputs else 0.0
+            ),
+            total_downtime_s=self.controller.total_downtime_s,
+        )
 
 
 def reactive_replay(
@@ -72,97 +191,36 @@ def reactive_replay(
         pessimism_db: extra dB subtracted from a dipping link's SNR
             when proactive mode hands it to the policy.
         detector_k_sigma: alarm threshold of the proactive detectors.
+
+    Raises:
+        ValueError: for a ``mode`` outside :data:`_MODES` — validated
+            before any trace is touched, so a typo cannot silently run
+            as a different mode.
     """
-    if mode not in ("scheduled", "reactive", "proactive"):
-        raise ValueError(f"unknown mode {mode!r}")
-    if not traces_by_link:
-        raise ValueError("need at least one trace")
-    timebases = {t.timebase for t in traces_by_link.values()}
-    if len(timebases) != 1:
-        raise ValueError("all traces must share one timebase")
-    timebase = next(iter(timebases))
-    if te_interval_s < timebase.interval_s:
+    if mode not in _MODES:
+        raise ValueError(f"unknown mode {mode!r} (expected one of {_MODES})")
+    feed = TelemetryFeed(traces_by_link)
+    if te_interval_s < feed.timebase.interval_s:
         raise ValueError("TE interval cannot be finer than the telemetry")
-    stride = max(int(te_interval_s // timebase.interval_s), 1)
-    interval_h = timebase.interval_s / 3600.0
+    stride = max(int(te_interval_s // feed.timebase.interval_s), 1)
 
-    detectors = {
-        link_id: EwmaDipDetector(k_sigma=detector_k_sigma)
-        for link_id in traces_by_link
-    }
-
-    n_scheduled = 0
-    n_emergency = 0
-    lost_gbps_hours = 0.0
-    throughputs = []
-    last_solution = None
-
-    for idx in range(timebase.n_samples):
-        snrs = {
-            link_id: float(trace.snr_db[idx])
-            for link_id, trace in traces_by_link.items()
-        }
-        in_dip: set[str] = set()
-        if mode == "proactive":
-            for link_id, snr in snrs.items():
-                detectors[link_id].update(snr, idx)
-                if detectors[link_id].state is SignalState.DIP:
-                    in_dip.add(link_id)
-
-        # 1. charge reaction lag: links below their configured threshold
-        if last_solution is not None:
-            for link_id, snr in snrs.items():
-                capacity = controller.capacity.get(link_id, 0.0)
-                if capacity <= 0:
-                    continue
-                threshold = controller.table.required_snr(capacity)
-                if snr < threshold:
-                    lost_gbps_hours += (
-                        last_solution.link_flow(link_id) * interval_h
-                    )
-
-        # 2. decide whether to run the controller now
-        scheduled = idx % stride == 0
-        emergency = False
-        if not scheduled and mode != "scheduled":
-            for link_id, snr in snrs.items():
-                capacity = controller.capacity.get(link_id, 0.0)
-                if capacity <= 0:
-                    continue
-                if snr < controller.table.required_snr(capacity):
-                    emergency = True
-                    break
-                if mode == "proactive" and link_id in in_dip:
-                    # fire only if the pessimistic view would actually
-                    # change this link — otherwise a long dip would
-                    # trigger a round at every sample
-                    pessimistic = max(snr - pessimism_db, 0.0)
-                    target = controller.policy.target_capacity_gbps(
-                        capacity, pessimistic
-                    )
-                    if target < capacity:
-                        emergency = True
-                        break
-        if not (scheduled or emergency):
-            continue
-
-        effective = dict(snrs)
-        if mode == "proactive":
-            for link_id in in_dip:
-                effective[link_id] = max(snrs[link_id] - pessimism_db, 0.0)
-        report = controller.step(effective, demands)
-        last_solution = report.solution
-        throughputs.append(report.throughput_gbps)
-        if scheduled:
-            n_scheduled += 1
-        else:
-            n_emergency += 1
-
-    return ReactiveResult(
-        mode=mode,
-        n_scheduled_rounds=n_scheduled,
-        n_emergency_rounds=n_emergency,
-        lost_gbps_hours=lost_gbps_hours,
-        mean_throughput_gbps=float(np.mean(throughputs)) if throughputs else 0.0,
-        total_downtime_s=controller.total_downtime_s,
+    engine = Engine(clock=SimClock(start_s=feed.timebase.start_s))
+    monitor = (
+        EwmaAlarmMonitor(list(traces_by_link), k_sigma=detector_k_sigma)
+        if mode == "proactive"
+        else None
     )
+    scenario = _ReactionScenario(
+        engine,
+        controller,
+        demands,
+        mode=mode,
+        stride=stride,
+        interval_h=feed.timebase.interval_s / 3600.0,
+        pessimism_db=pessimism_db,
+        monitor=monitor,
+    )
+    engine.subscribe(TelemetrySource.KIND, scenario.on_sample)
+    engine.add_source(TelemetrySource(feed))
+    engine.run()
+    return scenario.result()

@@ -6,6 +6,12 @@ downgrades/fails/upgrades wavelengths, runs the unmodified TE on the
 augmented graph, and pays BVT reconfiguration downtime.  The result is
 a time series of throughput and churn — what an operator would see on
 their dashboards after deploying the paper.
+
+The replay is a thin scenario over the event engine
+(:mod:`repro.engine`): a :class:`~repro.engine.ScheduledRounds` source
+emits one ``te.round`` event per TE interval, each carrying the
+telemetry sample the controller sees, and the controller's round
+handler does the rest.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.controller import ControllerReport, DynamicCapacityController
+from repro.engine import Engine, ScheduledRounds, SimClock, TelemetryFeed
 from repro.net.demands import Demand
 from repro.telemetry.traces import SnrTrace
 
@@ -69,42 +76,34 @@ def replay_controller(
             hours; default 4 h keeps long replays tractable).
         max_rounds: stop early after this many rounds.
     """
-    if not traces_by_link:
-        raise ValueError("need at least one trace")
-    timebases = {t.timebase for t in traces_by_link.values()}
-    if len(timebases) != 1:
-        raise ValueError("all traces must share one timebase")
-    timebase = next(iter(timebases))
-    if te_interval_s < timebase.interval_s:
-        raise ValueError("TE interval cannot be finer than the telemetry")
+    feed = TelemetryFeed(traces_by_link)
+    rounds = ScheduledRounds(
+        feed, te_interval_s=te_interval_s, max_rounds=max_rounds
+    )
 
-    stride = max(int(te_interval_s // timebase.interval_s), 1)
-    indices = range(0, timebase.n_samples, stride)
-    if max_rounds is not None:
-        indices = list(indices)[:max_rounds]
+    times: list[float] = []
+    reports: list[ControllerReport] = []
 
-    times, throughput, ups, downs, fails, downtime = [], [], [], [], [], []
-    reports = []
-    for idx in indices:
-        snrs = {
-            link_id: float(trace.snr_db[idx])
-            for link_id, trace in traces_by_link.items()
-        }
-        report = controller.step(snrs, demands)
-        reports.append(report)
-        times.append(timebase.start_s + idx * timebase.interval_s)
-        throughput.append(report.throughput_gbps)
-        ups.append(len(report.upgrades))
-        downs.append(len(report.downgrades))
-        fails.append(len(report.failed_links))
-        downtime.append(report.reconfiguration_downtime_s)
+    engine = Engine(clock=SimClock(start_s=feed.timebase.start_s))
+    engine.subscribe(
+        ScheduledRounds.KIND,
+        controller.make_round_handler(
+            demands,
+            engine=engine,
+            collect=lambda sample, report: (
+                times.append(sample.time_s), reports.append(report)
+            ),
+        ),
+    )
+    engine.add_source(rounds)
+    engine.run()
 
     return ReplayResult(
         times_s=np.asarray(times),
-        throughput_gbps=np.asarray(throughput),
-        n_upgrades=np.asarray(ups),
-        n_downgrades=np.asarray(downs),
-        n_failed=np.asarray(fails),
-        downtime_s=np.asarray(downtime),
+        throughput_gbps=np.asarray([r.throughput_gbps for r in reports]),
+        n_upgrades=np.asarray([len(r.upgrades) for r in reports]),
+        n_downgrades=np.asarray([len(r.downgrades) for r in reports]),
+        n_failed=np.asarray([len(r.failed_links) for r in reports]),
+        downtime_s=np.asarray([r.reconfiguration_downtime_s for r in reports]),
         reports=tuple(reports),
     )

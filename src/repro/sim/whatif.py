@@ -7,6 +7,13 @@ cable event on the real topology and solving the TE twice — binary
 rule vs. dynamic flap — exactly like
 :mod:`repro.sim.network_availability`, but driven by a ticket corpus
 and reporting per-ticket verdicts.
+
+The corpus replays on the event engine: a
+:class:`~repro.engine.TicketOutageSource` puts every ticket's outage
+window on the timeline at its open time, and the verdict handler
+publishes a ``ticket.verdict`` notification per ticket.  Verdicts are
+reported in corpus order regardless of outage chronology, so the
+report is identical whether a corpus arrives sorted or not.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.engine import Engine, Event, TicketOutageSource
 from repro.net.srlg import SrlgMap, degrade_cable, fail_cable
 from repro.net.topology import Topology
 from repro.net.demands import Demand
@@ -111,18 +119,27 @@ def replay_tickets(
             )
         return scenario_cache[key]
 
-    verdicts = []
-    for ticket in tickets:
+    verdicts: dict[int, TicketVerdict] = {}
+    engine = Engine()
+
+    def on_outage(event: Event) -> None:
+        index, ticket = event.payload
         binary_tp = throughput(ticket.element, binary=True)
         if ticket.is_binary_failure:
             dynamic_tp = binary_tp  # a cut is a cut in both worlds
         else:
             dynamic_tp = throughput(ticket.element, binary=False)
-        verdicts.append(
-            TicketVerdict(
-                ticket=ticket,
-                binary_loss_gbps=max(baseline - binary_tp, 0.0),
-                dynamic_loss_gbps=max(baseline - dynamic_tp, 0.0),
-            )
+        verdict = TicketVerdict(
+            ticket=ticket,
+            binary_loss_gbps=max(baseline - binary_tp, 0.0),
+            dynamic_loss_gbps=max(baseline - dynamic_tp, 0.0),
         )
-    return WhatIfReport(verdicts=tuple(verdicts))
+        verdicts[index] = verdict
+        engine.publish("ticket.verdict", verdict)
+
+    engine.subscribe(TicketOutageSource.KIND, on_outage)
+    engine.add_source(TicketOutageSource(tickets))
+    engine.run()
+    return WhatIfReport(
+        verdicts=tuple(verdicts[i] for i in range(len(tickets)))
+    )

@@ -22,6 +22,7 @@ paper's Figure 4c axis starts at 0.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator, Mapping
 
 import numpy as np
 from scipy.signal import lfilter
@@ -88,6 +89,45 @@ class SnrTrace:
     @property
     def max_db(self) -> float:
         return float(self.snr_db.max())
+
+
+def iter_link_samples(
+    traces_by_link: Mapping[str, SnrTrace],
+    *,
+    timebase: Timebase | None = None,
+    stride: int = 1,
+    max_samples: int | None = None,
+) -> Iterator[tuple[int, float, dict[str, float]]]:
+    """Stream ``(index, time_s, snr_by_link)`` one grid point at a time.
+
+    This is the per-sample view replay-style consumers (the event
+    engine) walk: each yielded dict is built on demand, so a multi-year
+    corpus is never expanded into per-sample dicts up front.  ``stride``
+    subsamples the grid (every ``stride``-th point), ``max_samples``
+    caps how many points are yielded.
+
+    ``timebase`` defaults to the first trace's; callers that already
+    validated a shared grid (:class:`repro.engine.sources.TelemetryFeed`)
+    pass it explicitly.
+    """
+    if not traces_by_link:
+        raise ValueError("need at least one trace")
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    if timebase is None:
+        timebase = next(iter(traces_by_link.values())).timebase
+    indices: Iterator[int] | range = range(0, timebase.n_samples, stride)
+    if max_samples is not None:
+        indices = list(indices)[:max_samples]
+    for index in indices:
+        yield (
+            index,
+            timebase.start_s + index * timebase.interval_s,
+            {
+                link_id: float(trace.snr_db[index])
+                for link_id, trace in traces_by_link.items()
+            },
+        )
 
 
 def _ar1_noise(

@@ -52,6 +52,22 @@ class TestModes:
         with pytest.raises(ValueError, match="finer"):
             reactive_replay(controller, traces, demands, te_interval_s=60.0)
 
+    def test_mode_validated_before_traces(self):
+        # a bad mode must fail fast, even when the traces are also bad:
+        # mode is caller intent, traces are data, and intent is checked first
+        topo, _, demands = build_scenario()
+        controller = DynamicCapacityController(topo, seed=0)
+        with pytest.raises(ValueError, match="unknown mode 'psychic'"):
+            reactive_replay(controller, {}, demands, mode="psychic")
+
+    def test_mode_error_lists_the_choices(self):
+        topo, traces, demands = build_scenario()
+        controller = DynamicCapacityController(topo, seed=0)
+        with pytest.raises(
+            ValueError, match="scheduled.*reactive.*proactive"
+        ):
+            reactive_replay(controller, traces, demands, mode="RUN")
+
     def test_quiet_horizon_no_emergencies_no_loss(self):
         for mode in ("scheduled", "reactive", "proactive"):
             result = run(mode)
