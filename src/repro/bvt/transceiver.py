@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -26,6 +27,15 @@ from repro.optics.modulation import (
     ModulationFormat,
     ModulationTable,
 )
+
+
+class BvtFaultError(RuntimeError):
+    """A modulation change refused by the hardware (injected or real).
+
+    Raised *before* any timed step executes: a failed attempt consumes
+    no downtime and leaves the BVT in its previous state, so callers
+    can retry safely.
+    """
 
 
 class BvtState(enum.Enum):
@@ -94,6 +104,12 @@ class Bvt:
         self.dsp = DspModel(table, dsp_timings, initial_capacity_gbps)
         self._state = BvtState.ACTIVE
         self.change_log: list[ModulationChangeResult] = []
+        #: fault-injection hook consulted before each (non-no-op) change.
+        #: Returns None to proceed, ``"fail"`` to raise
+        #: :class:`BvtFaultError`, or ``"power_cycle"`` to force the
+        #: standard (laser power-cycle) procedure for this change.
+        #: ``None`` (the default) costs nothing.
+        self.fault_hook: "Callable[[], str | None] | None" = None
 
     @property
     def state(self) -> BvtState:
@@ -136,6 +152,15 @@ class Bvt:
             )
             self.change_log.append(result)
             return result
+
+        if self.fault_hook is not None:
+            verdict = self.fault_hook()
+            if verdict == "fail":
+                raise BvtFaultError(
+                    f"modulation change to {capacity_gbps} Gbps failed"
+                )
+            if verdict == "power_cycle":
+                procedure = ChangeProcedure.STANDARD
 
         from_capacity = self.capacity_gbps
         if procedure is ChangeProcedure.STANDARD:

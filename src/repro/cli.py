@@ -13,7 +13,9 @@ canonical rendering — exactly what a sweep artifact would replay:
 * ``availability`` — binary failures vs. dynamic flaps;
 * ``theorem``      — the Theorem-1 equivalence check on a random WAN;
 * ``reactive``     — reaction-lag replay (scheduled/reactive/proactive);
-* ``whatif``       — ticket-corpus what-if replay (binary vs dynamic).
+* ``whatif``       — ticket-corpus what-if replay (binary vs dynamic);
+* ``chaos``        — fault-injection intensity sweep asserting the
+  hardened controller's invariants (exit 1 on any violation).
 
 ``sweep`` drives grids of those experiments::
 
@@ -120,6 +122,48 @@ def _cmd_reactive(args: argparse.Namespace) -> int:
         seed=args.seed,
         te_interval_h=args.te_interval_h,
     )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Sweep fault intensity and assert the hardening invariants.
+
+    Exit status 0 means every point's paired runs were byte-identical,
+    no round violated BER feasibility, and throughput degraded
+    monotonically (within slack) with intensity.
+    """
+    from repro.faults.chaos import chaos_verdicts, run_chaos_point
+
+    points = []
+    for intensity in args.intensities:
+        point = run_chaos_point(
+            days=args.days,
+            intensity=intensity,
+            policy=args.policy,
+            seed=args.seed,
+            te_interval_h=args.te_interval_h,
+            retries=args.retries,
+        )
+        points.append(point)
+        counts = ", ".join(
+            f"{k}={v}" for k, v in sorted(point["fault_counts"].items())
+        )
+        print(
+            f"intensity {intensity:>4.1f}: "
+            f"throughput {point['mean_throughput_gbps']:7.1f} Gbps, "
+            f"retries {point['n_retries']:>2}, "
+            f"TE fallbacks {point['n_te_fallbacks']}, "
+            f"stale link-rounds {point['n_stale_link_rounds']}, "
+            f"identical={point['byte_identical']}, "
+            f"BER violations={point['n_ber_violations']}"
+            + (f"  [{counts}]" if counts else "")
+        )
+    problems = chaos_verdicts(points)
+    if problems:
+        for problem in problems:
+            print(f"INVARIANT VIOLATED: {problem}")
+        return 1
+    print("all chaos invariants hold")
+    return 0
 
 
 def _cmd_whatif(args: argparse.Namespace) -> int:
@@ -366,6 +410,22 @@ def build_parser() -> argparse.ArgumentParser:
     reactive.add_argument("--seed", type=int, default=1)
     reactive.add_argument("--te-interval-h", type=float, default=4.0)
     reactive.set_defaults(handler=_cmd_reactive)
+
+    chaos = sub.add_parser(
+        "chaos", parents=[shared],
+        help="fault-injection sweep asserting the hardening invariants",
+    )
+    chaos.add_argument("--days", type=float, default=1.0)
+    chaos.add_argument("--intensities", type=float, nargs="+",
+                       default=[0.0, 0.5, 1.0, 2.0],
+                       help="fault-plan intensity grid (0 = no faults)")
+    chaos.add_argument("--policy", type=str, default="run",
+                       choices=["run", "walk", "crawl"])
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--te-interval-h", type=float, default=4.0)
+    chaos.add_argument("--retries", type=int, default=3,
+                       help="retry budget for BVT/TE failures (0 = fail fast)")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     whatif = sub.add_parser(
         "whatif", parents=[shared], help="ticket-corpus what-if replay"

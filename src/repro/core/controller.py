@@ -18,16 +18,30 @@ assembled from the pieces:
 
 The TE algorithm is injected as a plain callable, underscoring the
 paper's point: SWAN/B4/CSPF run here without modification.
+
+The loop is *hardened* against degraded operation (the regime the
+paper's §2 data says dominates): BVT reconfigurations that fail are
+retried under a bounded exponential-backoff-with-jitter
+:class:`RetryPolicy`; NaN/missing SNR readings trigger stale-telemetry
+handling (hold the last good reading for a few rounds, then fall back
+to a safe floor capacity); a configurable SNR guard band keeps flapping
+readings from churning capacity; and a TE solve that raises
+:class:`~repro.te.solution.TeSolverError` degrades gracefully to the
+last known-good solution.  Every one of these paths is provably
+zero-cost when unused: with clean telemetry and no fault injector
+bound, the loop's arithmetic is bit-identical to the unhardened one
+(the golden equivalence suite enforces this).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.bvt.transceiver import Bvt, ChangeProcedure
+from repro.bvt.transceiver import Bvt, BvtFaultError, ChangeProcedure
 from repro.core.augmentation import augment_topology
 from repro.core.penalties import PenaltyPolicy, TrafficDisruptionPenalty
 from repro.core.policies import AdaptationPolicy, walk_policy
@@ -35,9 +49,14 @@ from repro.core.translation import LinkUpgrade, translate
 from repro.net.demands import Demand
 from repro.net.srlg import SrlgMap
 from repro.net.topology import Topology
-from repro.optics.modulation import DEFAULT_MODULATIONS, ModulationTable
+from repro.optics.modulation import (
+    DEFAULT_MODULATIONS,
+    LOSS_OF_LIGHT_SNR_DB,
+    ModulationTable,
+)
+from repro.seeds import component_rng
 from repro.te.lp import MultiCommodityLp
-from repro.te.solution import TeSolution
+from repro.te.solution import TeSolution, TeSolverError, empty_solution
 
 #: a TE algorithm: (topology, demands) -> TeSolution
 TeAlgorithm = Callable[[Topology, Sequence[Demand]], TeSolution]
@@ -46,6 +65,51 @@ TeAlgorithm = Callable[[Topology, Sequence[Demand]], TeSolution]
 def default_te_algorithm(topology: Topology, demands: Sequence[Demand]) -> TeSolution:
     """Min-penalty-at-max-throughput LP — the Theorem-1 objective."""
     return MultiCommodityLp(topology, demands).min_penalty_at_max_throughput().solution
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and jitter.
+
+    ``max_retries`` is the number of attempts *beyond* the first; 0
+    reproduces the unhardened fail-fast behaviour exactly.  Backoff
+    delays are simulated controller wall-clock (reported, not added to
+    link downtime: the link keeps its old configuration while the
+    controller waits) and the jitter draw comes from a dedicated
+    component rng, so enabling retries does not shift any other stream.
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 1.0
+    multiplier: float = 2.0
+    jitter_frac: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_delay_s < 0:
+            raise ValueError("base_delay_s must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ValueError("jitter_frac must be in [0, 1)")
+
+    def delay_s(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retry number ``attempt + 1`` (0-based)."""
+        delay = self.base_delay_s * self.multiplier**attempt
+        if self.jitter_frac > 0.0:
+            delay *= 1.0 + self.jitter_frac * float(rng.uniform(-1.0, 1.0))
+        return delay
+
+
+@dataclass(frozen=True)
+class _ReconfigOutcome:
+    """What one (possibly retried) BVT reconfiguration attempt did."""
+
+    downtime_s: float
+    ok: bool
+    retries: int
+    backoff_s: float
 
 
 @dataclass(frozen=True)
@@ -83,6 +147,23 @@ class ControllerReport:
     #: maintenance batches the upgrades were executed in (SRLG-aware
     #: when the controller was given an SrlgMap; else one batch)
     n_reconfiguration_batches: int = 0
+    #: reconfiguration/TE attempts beyond the first (retry accounting)
+    n_retries: int = 0
+    #: simulated controller wall-clock spent backing off between retries
+    retry_backoff_s: float = 0.0
+    #: links whose reconfiguration exhausted every retry this round
+    reconfig_failed_links: tuple[str, ...] = ()
+    #: True when the TE solve failed and the controller held the last
+    #: known-good solution (or the empty one) instead
+    te_fallback: bool = False
+    #: links decided on held or fallen-back telemetry (NaN readings)
+    stale_links: tuple[str, ...] = ()
+    #: capacity the round intended to configure but could not (or
+    #: conservatively withheld) because of faults
+    fault_capacity_loss_gbps: float = 0.0
+    #: links left above the capacity their decision-time SNR supports
+    #: (audited only when a fault injector is bound; must stay empty)
+    ber_violations: tuple[str, ...] = ()
 
     @property
     def throughput_gbps(self) -> float:
@@ -112,6 +193,11 @@ class DynamicCapacityController:
         drain_before_change: bool = False,
         srlgs: SrlgMap | None = None,
         seed: int = 0,
+        retry: RetryPolicy | None = None,
+        guard_band_db: float = 0.0,
+        stale_hold_rounds: int = 3,
+        stale_fallback_gbps: float = 50.0,
+        audit: bool = False,
     ):
         """``drain_before_change`` applies Section 4.2's consistent-update
         recipe: before reconfiguring a link's BVT, re-run the TE with
@@ -124,6 +210,21 @@ class DynamicCapacityController:
         the same fiber cable are serialised into separate maintenance
         batches (see :mod:`repro.core.scheduler`), so a cable never has
         all of its wavelengths reconfiguring at once.
+
+        Robustness knobs (all inert on clean runs):
+
+        ``retry`` bounds how hard failed BVT reconfigurations and TE
+        solves are retried (None = fail fast, the unhardened
+        behaviour).  ``guard_band_db`` is extra SNR margin required
+        before any capacity *increase* (upgrades and restores) on top
+        of the policy's own hysteresis — downgrades always act on the
+        raw reading, so the guard can only make the loop more
+        conservative.  A NaN SNR reading marks the link stale: its
+        last good reading is held for ``stale_hold_rounds`` rounds,
+        after which the link falls back to ``stale_fallback_gbps``
+        (the paper's degraded 50 Gbps floor) until telemetry returns.
+        ``audit`` forces the per-round BER-feasibility audit even with
+        no fault injector bound.
         """
         self.physical = topology
         self.policy = policy if policy is not None else walk_policy(table=table)
@@ -137,7 +238,22 @@ class DynamicCapacityController:
         self.procedure = procedure
         self.drain_before_change = drain_before_change
         self.srlgs = srlgs
+        self.retry = retry
+        if guard_band_db < 0:
+            raise ValueError("guard_band_db must be non-negative")
+        if stale_hold_rounds < 0:
+            raise ValueError("stale_hold_rounds must be non-negative")
+        if stale_fallback_gbps < 0:
+            raise ValueError("stale_fallback_gbps must be non-negative")
+        self.guard_band_db = guard_band_db
+        self.stale_hold_rounds = stale_hold_rounds
+        self.stale_fallback_gbps = stale_fallback_gbps
+        self.audit = audit
         self._rng = np.random.default_rng(seed)
+        #: jitter/backoff draws live on their own stream so enabling
+        #: retries cannot shift the hardware-model draws
+        self._backoff_rng = component_rng(seed, "controller.backoff")
+        self._faults: Any | None = None
         self.capacity: dict[str, float] = {
             l.link_id: l.capacity_gbps for l in topology.real_links()
         }
@@ -146,7 +262,30 @@ class DynamicCapacityController:
         self._configured = dict(self.capacity)
         self._bvts: dict[str, Bvt] = {}
         self._traffic: dict[str, float] = {}
+        self._last_good_snr: dict[str, float] = {}
+        self._stale_rounds: dict[str, int] = {}
+        self._last_solution: TeSolution | None = None
         self.total_downtime_s = 0.0
+
+    # -- fault injection ------------------------------------------------------
+
+    def bind_faults(self, injector: Any) -> None:
+        """Arm a :class:`~repro.faults.inject.FaultInjector` (or any
+        object with ``bvt_verdict(link_id)`` / ``te_fails()``).
+
+        Call before the first :meth:`step`; BVTs created afterwards get
+        their fault hook automatically, and any already-created BVT is
+        re-armed here.
+        """
+        self._faults = injector
+        for link_id, bvt in self._bvts.items():
+            bvt.fault_hook = self._bvt_fault_hook(link_id)
+
+    def _bvt_fault_hook(self, link_id: str) -> Callable[[], str | None] | None:
+        if self._faults is None:
+            return None
+        injector = self._faults
+        return lambda: injector.bvt_verdict(link_id)
 
     # -- hardware access ----------------------------------------------------
 
@@ -161,17 +300,58 @@ class DynamicCapacityController:
                     f"link {link_id} configured at {initial} Gbps, which is "
                     f"not on the modulation ladder {self.table.capacities_gbps}"
                 )
-            self._bvts[link_id] = Bvt(
-                table=self.table, initial_capacity_gbps=initial
-            )
+            bvt = Bvt(table=self.table, initial_capacity_gbps=initial)
+            bvt.fault_hook = self._bvt_fault_hook(link_id)
+            self._bvts[link_id] = bvt
         return self._bvts[link_id]
 
-    def _reconfigure(self, link_id: str, capacity_gbps: float) -> float:
-        """Drive the link's BVT to ``capacity_gbps``; returns downtime (s)."""
-        result = self._bvt(link_id).change_modulation(
-            capacity_gbps, self._rng, procedure=self.procedure
-        )
-        return result.downtime_s
+    def _reconfigure(self, link_id: str, capacity_gbps: float) -> _ReconfigOutcome:
+        """Drive the link's BVT to ``capacity_gbps``, retrying failures.
+
+        A failed attempt consumes no downtime (the BVT refuses before
+        any timed step) and leaves the link at its old configuration;
+        retries back off per :attr:`retry`.  With no retry policy the
+        first failure is final — the unhardened fail-fast behaviour.
+        """
+        attempts = 1 + (self.retry.max_retries if self.retry is not None else 0)
+        retries = 0
+        backoff_s = 0.0
+        for attempt in range(attempts):
+            try:
+                result = self._bvt(link_id).change_modulation(
+                    capacity_gbps, self._rng, procedure=self.procedure
+                )
+            except BvtFaultError:
+                if attempt + 1 >= attempts:
+                    return _ReconfigOutcome(0.0, False, retries, backoff_s)
+                retries += 1
+                backoff_s += self.retry.delay_s(attempt, self._backoff_rng)
+            else:
+                return _ReconfigOutcome(result.downtime_s, True, retries, backoff_s)
+        raise AssertionError("unreachable")
+
+    def _solve_te(
+        self, topology: Topology, demands: Sequence[Demand]
+    ) -> tuple[TeSolution | None, int, float]:
+        """One TE solve with fault injection, retry and backoff.
+
+        Returns ``(solution | None, retries, backoff_s)``; ``None``
+        means every attempt raised and the caller must degrade.
+        """
+        attempts = 1 + (self.retry.max_retries if self.retry is not None else 0)
+        retries = 0
+        backoff_s = 0.0
+        for attempt in range(attempts):
+            try:
+                if self._faults is not None and self._faults.te_fails():
+                    raise TeSolverError("injected TE solver failure")
+                return self.te_algorithm(topology, demands), retries, backoff_s
+            except TeSolverError:
+                if attempt + 1 >= attempts:
+                    return None, retries, backoff_s
+                retries += 1
+                backoff_s += self.retry.delay_s(attempt, self._backoff_rng)
+        raise AssertionError("unreachable")
 
     # -- engine integration ---------------------------------------------------
 
@@ -222,58 +402,118 @@ class DynamicCapacityController:
         Args:
             snr_by_link: current SNR (dB) per physical link id; links
                 not mentioned are assumed healthy at their capacity.
+                A NaN reading marks the link's telemetry stale and
+                triggers hold-then-fallback handling (see the
+                constructor's robustness knobs).
             demands: the traffic matrix for this round.
         """
         downtime = 0.0
+        n_retries = 0
+        backoff_s = 0.0
+        fault_loss = 0.0
         downgrades: list[LinkDowngrade] = []
         failed: list[str] = []
         restored: list[str] = []
+        reconfig_failed: list[str] = []
 
-        # 1-2. forced downgrades / failures, and restoration of links
-        # whose light came back
+        # 0. stale-telemetry screening: a NaN reading is replaced by the
+        # link's last good reading for up to ``stale_hold_rounds``
+        # rounds (hold-last-safe), then by the safe-floor fallback
+        # threshold; a dark link never restores on a stale reading.
+        effective: dict[str, float] = {}
+        stale: list[str] = []
         for link_id, snr in snr_by_link.items():
             if link_id not in self.capacity:
                 raise KeyError(f"unknown link {link_id!r}")
+            if math.isnan(snr):
+                stale.append(link_id)
+                age = self._stale_rounds.get(link_id, 0) + 1
+                self._stale_rounds[link_id] = age
+                if self.capacity[link_id] <= 0:
+                    effective[link_id] = LOSS_OF_LIGHT_SNR_DB
+                elif age <= self.stale_hold_rounds and link_id in self._last_good_snr:
+                    effective[link_id] = self._last_good_snr[link_id]
+                else:
+                    effective[link_id] = self.table.required_snr(
+                        self.stale_fallback_gbps
+                    )
+            else:
+                self._stale_rounds[link_id] = 0
+                self._last_good_snr[link_id] = snr
+                effective[link_id] = snr
+        stale_set = frozenset(stale)
+
+        # 1-2. forced downgrades / failures, and restoration of links
+        # whose light came back
+        for link_id, snr in effective.items():
             current = self.capacity[link_id]
             configured = self._configured[link_id]
             if current <= 0:
                 # the link is down; bring it back at a safe rate if the
                 # signal recovered (no downtime: it was dark anyway)
-                feasible = self.table.feasible_capacity(snr)
+                feasible = self.table.feasible_capacity(snr - self.guard_band_db)
                 restore = (
                     feasible
                     if self.policy.allow_upgrades
                     else min(feasible, configured)
                 )
                 if restore > 0:
-                    self._reconfigure(link_id, restore)
-                    self.capacity[link_id] = restore
-                    restored.append(link_id)
+                    outcome = self._reconfigure(link_id, restore)
+                    n_retries += outcome.retries
+                    backoff_s += outcome.backoff_s
+                    if outcome.ok:
+                        self.capacity[link_id] = restore
+                        restored.append(link_id)
+                    else:
+                        reconfig_failed.append(link_id)
+                        fault_loss += restore
                 continue
             target = self.policy.target_capacity_gbps(current, snr)
             if target < current:
-                downgrades.append(
-                    LinkDowngrade(link_id, current, target)
-                )
+                if link_id in stale_set:
+                    fault_loss += current - target
                 if target > 0:
-                    downtime += self._reconfigure(link_id, target)
+                    outcome = self._reconfigure(link_id, target)
+                    n_retries += outcome.retries
+                    backoff_s += outcome.backoff_s
+                    if outcome.ok:
+                        downtime += outcome.downtime_s
+                        downgrades.append(LinkDowngrade(link_id, current, target))
+                        self.capacity[link_id] = target
+                    else:
+                        # the BVT will not re-modulate and the current
+                        # rate is SNR-infeasible: take the link dark
+                        # rather than hold it above its BER floor
+                        downgrades.append(LinkDowngrade(link_id, current, 0.0))
+                        failed.append(link_id)
+                        reconfig_failed.append(link_id)
+                        fault_loss += target
+                        self.capacity[link_id] = 0.0
                 else:
+                    downgrades.append(LinkDowngrade(link_id, current, target))
                     failed.append(link_id)
-                self.capacity[link_id] = target
+                    self.capacity[link_id] = target
             elif current < configured:
                 # a previously-flapped link: recovery to the provisioned
                 # rate is an operator invariant, not a TE decision (going
                 # *beyond* the provisioned rate stays demand-driven).
-                # The policy's hysteresis margin guards against flapping
-                # right back.
+                # The policy's hysteresis margin — plus the controller's
+                # guard band — protects against flapping right back.
                 guarded = self.table.feasible_capacity(
-                    snr - self.policy.upgrade_margin_db
+                    snr - self.policy.upgrade_margin_db - self.guard_band_db
                 )
                 restore = min(max(guarded, current), configured)
                 if restore > current:
-                    downtime += self._reconfigure(link_id, restore)
-                    self.capacity[link_id] = restore
-                    restored.append(link_id)
+                    outcome = self._reconfigure(link_id, restore)
+                    n_retries += outcome.retries
+                    backoff_s += outcome.backoff_s
+                    if outcome.ok:
+                        downtime += outcome.downtime_s
+                        self.capacity[link_id] = restore
+                        restored.append(link_id)
+                    else:
+                        reconfig_failed.append(link_id)
+                        fault_loss += restore - current
 
         # 3. working topology at post-downgrade capacities, with headroom
         working = Topology(f"{self.physical.name}@step")
@@ -283,9 +523,11 @@ class DynamicCapacityController:
             capacity = self.capacity[link.link_id]
             if capacity <= 0:
                 continue  # link is down this round
-            snr = snr_by_link.get(link.link_id)
+            snr = effective.get(link.link_id)
             headroom = (
-                self.policy.headroom_gbps(capacity, snr) if snr is not None else 0.0
+                self.policy.headroom_gbps(capacity, snr - self.guard_band_db)
+                if snr is not None
+                else 0.0
             )
             working.add_link(
                 link.src,
@@ -296,55 +538,106 @@ class DynamicCapacityController:
                 link_id=link.link_id,
             )
 
-        # 4-5. augment and run the unmodified TE algorithm
+        # 4-5. augment and run the unmodified TE algorithm; if every
+        #      attempt raises, degrade to the last known-good solution
+        #      (or the empty allocation) rather than crashing the loop
         augmented = augment_topology(
             working,
             penalty_policy=self.penalty_policy,
             current_traffic=self._traffic,
         )
-        te_solution = self.te_algorithm(augmented.topology, demands)
+        te_solution, te_retries, te_backoff = self._solve_te(
+            augmented.topology, demands
+        )
+        n_retries += te_retries
+        backoff_s += te_backoff
+        te_fallback = te_solution is None
 
-        # 6. translate and execute upgrades; optionally drain first so
-        #    slow reconfigurations hit no traffic (Section 4.2)
-        translation = translate(augmented, te_solution, table=self.table)
-        interim = None
-        disrupted = sum(u.disrupted_traffic_gbps for u in translation.upgrades)
-        if (
-            self.drain_before_change
-            and translation.upgrades
-        ):
-            drained = working.copy(f"{working.name}-drained")
-            for upgrade in translation.upgrades:
-                drained.remove_link(upgrade.link_id)
-            interim = self.te_algorithm(drained, demands)
-            disrupted = 0.0  # traffic moved off before the BVTs touched
-        if self.srlgs is not None and translation.upgrades:
-            from repro.core.scheduler import schedule_reconfigurations
-
-            schedule = schedule_reconfigurations(
-                translation.upgrades, self.srlgs
+        if te_fallback:
+            # hold: no upgrades, keep the traffic memory, reuse the
+            # last solution's allocation figures for reporting
+            held = (
+                self._last_solution
+                if self._last_solution is not None
+                else empty_solution(working, demands)
             )
-            n_batches = schedule.n_batches
-            ordered_upgrades = [
-                u for batch in schedule.batches for u in batch.upgrades
-            ]
+            solution = held
+            upgrades: tuple[LinkUpgrade, ...] = ()
+            interim = None
+            disrupted = 0.0
+            n_batches = 0
         else:
-            n_batches = 1 if translation.upgrades else 0
-            ordered_upgrades = list(translation.upgrades)
-        for upgrade in ordered_upgrades:
-            downtime += self._reconfigure(upgrade.link_id, upgrade.new_capacity_gbps)
-            self.capacity[upgrade.link_id] = upgrade.new_capacity_gbps
+            # 6. translate and execute upgrades; optionally drain first
+            #    so slow reconfigurations hit no traffic (Section 4.2)
+            translation = translate(augmented, te_solution, table=self.table)
+            solution = translation.solution
+            upgrades = translation.upgrades
+            interim = None
+            disrupted = sum(u.disrupted_traffic_gbps for u in upgrades)
+            if self.drain_before_change and upgrades:
+                drained = working.copy(f"{working.name}-drained")
+                for upgrade in upgrades:
+                    drained.remove_link(upgrade.link_id)
+                interim, drain_retries, drain_backoff = self._solve_te(
+                    drained, demands
+                )
+                n_retries += drain_retries
+                backoff_s += drain_backoff
+                if interim is not None:
+                    disrupted = 0.0  # traffic moved off before the BVTs touched
+                # else: drain solve failed — proceed undrained, the
+                # original disruption estimate stands
+            if self.srlgs is not None and upgrades:
+                from repro.core.scheduler import schedule_reconfigurations
 
-        # 7. remember traffic for the next round's penalty computation
-        self._traffic = {
-            l.link_id: translation.solution.link_flow(l.link_id)
-            for l in translation.solution.topology.links
-        }
+                schedule = schedule_reconfigurations(upgrades, self.srlgs)
+                n_batches = schedule.n_batches
+                ordered_upgrades = [
+                    u for batch in schedule.batches for u in batch.upgrades
+                ]
+            else:
+                n_batches = 1 if upgrades else 0
+                ordered_upgrades = list(upgrades)
+            for upgrade in ordered_upgrades:
+                outcome = self._reconfigure(
+                    upgrade.link_id, upgrade.new_capacity_gbps
+                )
+                n_retries += outcome.retries
+                backoff_s += outcome.backoff_s
+                if outcome.ok:
+                    downtime += outcome.downtime_s
+                    self.capacity[upgrade.link_id] = upgrade.new_capacity_gbps
+                else:
+                    # upgrade refused: hold the current (safe) rate
+                    reconfig_failed.append(upgrade.link_id)
+                    fault_loss += (
+                        upgrade.new_capacity_gbps - self.capacity[upgrade.link_id]
+                    )
+
+            # 7. remember traffic for the next round's penalty computation
+            self._traffic = {
+                l.link_id: solution.link_flow(l.link_id)
+                for l in solution.topology.links
+            }
+            self._last_solution = solution
+
         self.total_downtime_s += downtime
 
+        # 8. BER-feasibility audit: no link may sit above the capacity
+        #    its decision-time (effective) SNR supports.  Cheap, but the
+        #    clean path skips it to stay bit-for-bit unchanged.
+        violations: tuple[str, ...] = ()
+        if self.audit or self._faults is not None:
+            violations = tuple(
+                link_id
+                for link_id, snr in effective.items()
+                if self.capacity[link_id]
+                > self.table.feasible_capacity(snr) + 1e-9
+            )
+
         return ControllerReport(
-            solution=translation.solution,
-            upgrades=translation.upgrades,
+            solution=solution,
+            upgrades=upgrades,
             downgrades=tuple(downgrades),
             failed_links=tuple(failed),
             restored_links=tuple(restored),
@@ -352,4 +645,11 @@ class DynamicCapacityController:
             traffic_disrupted_gbps=disrupted,
             interim_solution=interim,
             n_reconfiguration_batches=n_batches,
+            n_retries=n_retries,
+            retry_backoff_s=backoff_s,
+            reconfig_failed_links=tuple(reconfig_failed),
+            te_fallback=te_fallback,
+            stale_links=tuple(stale),
+            fault_capacity_loss_gbps=fault_loss,
+            ber_violations=violations,
         )

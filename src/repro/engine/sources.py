@@ -106,6 +106,13 @@ class TelemetryFeed:
                 raise ValueError(
                     f"link {link_id!r}: {v.size} samples for {t.size} timestamps"
                 )
+            if not np.all(np.isfinite(t)):
+                bad = int(np.argmax(~np.isfinite(t)))
+                raise ValueError(
+                    f"link {link_id!r}: non-finite sample time at index "
+                    f"{bad} ({t[bad]}); NaN timestamps would silently "
+                    "bypass the ordering checks"
+                )
             diffs = np.diff(t)
             if np.any(diffs <= 0):
                 bad = int(np.argmax(diffs <= 0))
@@ -131,12 +138,15 @@ class TelemetryFeed:
                     f"{link_id!r} does not match the grid of link {ref_link!r}"
                 )
             assert timebase is not None
+            # NaN readings (dropouts) are legitimate payload; the
+            # baseline must come from the finite samples only
+            finite = v[np.isfinite(v)]
             traces[link_id] = SnrTrace(
                 link_id=link_id,
                 cable_name=cable_name,
                 timebase=timebase,
                 snr_db=v,
-                baseline_db=float(np.median(v)),
+                baseline_db=float(np.median(finite)) if finite.size else 0.0,
                 events=(),
             )
         return cls(traces)
@@ -267,18 +277,34 @@ class EwmaAlarmMonitor:
     def __init__(self, link_ids: Sequence[str], *, k_sigma: float = 5.0):
         from repro.telemetry.anomaly import EwmaDipDetector
 
+        self._k_sigma = k_sigma
         self._detectors = {
             link_id: EwmaDipDetector(k_sigma=k_sigma) for link_id in link_ids
         }
         self._dipping: set[str] = set()
 
+    @property
+    def n_skipped(self) -> int:
+        """Non-finite samples skipped across all links (dropouts)."""
+        return sum(d.n_skipped for d in self._detectors.values())
+
     def observe(self, engine: Engine | None, sample: TelemetrySample) -> set[str]:
-        """Update every detector; returns links currently in a dip."""
-        from repro.telemetry.anomaly import SignalState
+        """Update every detector; returns links currently in a dip.
+
+        Tolerates degraded telemetry: a link missing from the monitor
+        gets a detector on first sight, and NaN readings are skipped
+        and counted by the per-link detectors (see
+        :meth:`~repro.telemetry.anomaly.EwmaDipDetector.update`) rather
+        than corrupting their EWMA state.
+        """
+        from repro.telemetry.anomaly import EwmaDipDetector, SignalState
 
         in_dip: set[str] = set()
         for link_id, snr in sample.snr_db.items():
-            detector = self._detectors[link_id]
+            detector = self._detectors.get(link_id)
+            if detector is None:
+                detector = EwmaDipDetector(k_sigma=self._k_sigma)
+                self._detectors[link_id] = detector
             detector.update(snr, sample.index)
             if detector.state is SignalState.DIP:
                 in_dip.add(link_id)

@@ -672,6 +672,88 @@ def _render_reactive(m: Mapping[str, Any]) -> str:
     )
 
 
+def _run_chaos(
+    ctx: ExecutionContext,
+    *,
+    days: float,
+    intensity: float,
+    policy: str,
+    seed: int,
+    te_interval_h: float,
+    retries: int,
+) -> dict[str, Any]:
+    """One chaos point: paired fault-injected replays plus invariants."""
+    from repro.faults.chaos import run_chaos_point
+
+    return run_chaos_point(
+        days=days,
+        intensity=intensity,
+        policy=policy,
+        seed=seed,
+        te_interval_h=te_interval_h,
+        retries=retries,
+    )
+
+
+def _render_chaos(m: Mapping[str, Any]) -> str:
+    counts = ", ".join(
+        f"{k}={v}" for k, v in sorted(m.get("fault_counts", {}).items())
+    )
+    return "\n".join(
+        [
+            f"intensity={m['intensity']} policy={m['policy']} "
+            f"rounds={m['n_rounds']}",
+            f"mean throughput: {m['mean_throughput_gbps']:.1f} Gbps "
+            f"(fault loss {m['fault_capacity_loss_gbps']:.1f} Gbps)",
+            f"retries: {m['n_retries']} "
+            f"(backoff {m['retry_backoff_s']:.1f} s); "
+            f"TE fallbacks: {m['n_te_fallbacks']}; "
+            f"reconfig failures: {m['n_reconfig_failures']}; "
+            f"stale link-rounds: {m['n_stale_link_rounds']}",
+            f"faults applied: {counts or 'none'}",
+            f"byte-identical paired runs: {m['byte_identical']}; "
+            f"BER violations: {m['n_ber_violations']}",
+        ]
+    )
+
+
+register(
+    Experiment(
+        name="chaos",
+        description="fault-injection chaos point: degradation + invariants",
+        run=_run_chaos,
+        defaults=(
+            ("days", 1.0),
+            ("intensity", 1.0),
+            ("policy", "run"),
+            ("seed", 7),
+            ("te_interval_h", 4.0),
+            ("retries", 3),
+        ),
+        modules=_BASE_MODULES
+        + _ENGINE_MODULES
+        + (
+            "repro.bvt.transceiver",
+            "repro.core.controller",
+            "repro.core.policies",
+            "repro.faults.chaos",
+            "repro.faults.inject",
+            "repro.faults.spec",
+            "repro.net.demands",
+            "repro.net.topologies",
+            "repro.optics.impairments",
+            "repro.optics.modulation",
+            "repro.sim.replay",
+            "repro.te.lp",
+            "repro.te.solution",
+            "repro.telemetry.timebase",
+            "repro.telemetry.traces",
+        ),
+        render=_render_chaos,
+    )
+)
+
+
 register(
     Experiment(
         name="reactive",

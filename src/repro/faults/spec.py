@@ -1,0 +1,214 @@
+"""Declarative, seed-keyed fault descriptions.
+
+A :class:`FaultSpec` names one failure mode and its intensity; a
+:class:`FaultPlan` is the complete fault environment of a run — a tuple
+of specs plus the seed every injection stream derives from.  Plans are
+plain data: serializable to/from dicts (so a TOML sweep axis can carry
+one), scalable by a single ``intensity`` knob (the chaos harness sweeps
+it), and hashable into artifact keys like any other parameter.
+
+The supported kinds mirror where the paper's operational story can
+break (§2 rare-but-dramatic SNR behaviour, §3.1 reconfiguration
+procedures):
+
+===================  ======================================================
+kind                 meaning
+===================  ======================================================
+telemetry.dropout    windows where a link's SNR samples go missing (NaN)
+telemetry.stuck      windows where a link's reading freezes at the last
+                     pre-window value
+telemetry.corrupt    per-sample Bernoulli corruption: a Gaussian offset of
+                     ``magnitude_db`` standard deviation is added
+telemetry.delay      windows where the feed serves samples ``delay_samples``
+                     grid points old
+bvt.failure          a modulation change attempt fails outright (the
+                     controller must retry or degrade)
+bvt.power_cycle      the efficient in-service swap times out and the BVT
+                     falls back to the laser power-cycle path (§3.1) —
+                     the change lands, but at standard-procedure downtime
+te.exception         the TE solver raises for this round's solve
+===================  ======================================================
+
+Randomness never lives here: specs are pure data, and all draws happen
+in :mod:`repro.faults.inject` from :func:`repro.seeds.component_rng`
+streams keyed on ``(plan.seed, kind, link)`` — so two runs of the same
+plan are bit-identical, and scenarios sweeping seeds cannot alias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+#: every fault kind a spec may name
+KINDS = (
+    "telemetry.dropout",
+    "telemetry.stuck",
+    "telemetry.corrupt",
+    "telemetry.delay",
+    "bvt.failure",
+    "bvt.power_cycle",
+    "te.exception",
+)
+
+#: kinds realised as per-link time windows drawn over the horizon
+WINDOWED_KINDS = ("telemetry.dropout", "telemetry.stuck", "telemetry.delay")
+
+#: kinds realised as per-event Bernoulli draws
+BERNOULLI_KINDS = ("telemetry.corrupt", "bvt.failure", "bvt.power_cycle", "te.exception")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One failure mode and its intensity.
+
+    Attributes:
+        kind: one of :data:`KINDS`.
+        rate_per_day: expected fault windows per link per day (windowed
+            kinds only).
+        duration_s: mean window length, drawn exponentially (windowed
+            kinds only).
+        probability: per-sample (``telemetry.corrupt``) or per-attempt
+            (``bvt.*``, ``te.exception``) fault probability.
+        magnitude_db: standard deviation of the corruption offset
+            (``telemetry.corrupt`` only).
+        delay_samples: staleness, in grid points, served during a delay
+            window (``telemetry.delay`` only).
+        links: restrict the spec to these link ids; ``None`` = every
+            link the run knows.
+    """
+
+    kind: str
+    rate_per_day: float = 0.0
+    duration_s: float = 0.0
+    probability: float = 0.0
+    magnitude_db: float = 0.0
+    delay_samples: int = 0
+    links: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (valid: {KINDS})")
+        if self.rate_per_day < 0:
+            raise ValueError("rate_per_day must be non-negative")
+        if self.duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.magnitude_db < 0:
+            raise ValueError("magnitude_db must be non-negative")
+        if self.delay_samples < 0:
+            raise ValueError("delay_samples must be non-negative")
+        if self.kind in WINDOWED_KINDS and self.probability:
+            raise ValueError(f"{self.kind} is windowed; set rate_per_day, not probability")
+        if self.kind in BERNOULLI_KINDS and self.rate_per_day:
+            raise ValueError(f"{self.kind} is per-event; set probability, not rate_per_day")
+
+    def applies_to(self, link_id: str) -> bool:
+        return self.links is None or link_id in self.links
+
+    def scaled(self, intensity: float) -> "FaultSpec":
+        """This spec at ``intensity`` times the rate (probability capped at 1)."""
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        return replace(
+            self,
+            rate_per_day=self.rate_per_day * intensity,
+            probability=min(self.probability * intensity, 1.0),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind}
+        for name in ("rate_per_day", "duration_s", "probability", "magnitude_db"):
+            value = getattr(self, name)
+            if value:
+                out[name] = value
+        if self.delay_samples:
+            out["delay_samples"] = self.delay_samples
+        if self.links is not None:
+            out["links"] = list(self.links)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        payload = dict(data)
+        links = payload.pop("links", None)
+        return cls(
+            **payload, links=tuple(links) if links is not None else None
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete fault environment of one run.
+
+    ``seed`` keys every injection stream; everything else is the spec
+    tuple.  An empty plan is a legal no-op (the injector then never
+    perturbs anything), but the provably-zero-cost path is passing
+    ``faults=None`` to the simulators — no injector is built at all.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def specs_for(self, kind: str) -> tuple[FaultSpec, ...]:
+        if kind not in KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        return tuple(s for s in self.specs if s.kind == kind)
+
+    def probability(self, kind: str, link_id: str | None = None) -> float:
+        """Total per-event probability of ``kind`` (capped at 1)."""
+        total = sum(
+            s.probability
+            for s in self.specs_for(kind)
+            if link_id is None or s.applies_to(link_id)
+        )
+        return min(total, 1.0)
+
+    @property
+    def has_telemetry_faults(self) -> bool:
+        return any(s.kind.startswith("telemetry.") for s in self.specs)
+
+    def scaled(self, intensity: float) -> "FaultPlan":
+        return FaultPlan(
+            specs=tuple(s.scaled(intensity) for s in self.specs), seed=self.seed
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed, "specs": [s.to_dict() for s in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        return cls(
+            specs=tuple(FaultSpec.from_dict(s) for s in data.get("specs", ())),
+            seed=int(data.get("seed", 0)),
+        )
+
+    @classmethod
+    def standard(cls, intensity: float = 1.0, *, seed: int = 0) -> "FaultPlan":
+        """The chaos harness's reference environment at ``intensity``.
+
+        Intensity 1.0 is a rough "bad month, compressed": a couple of
+        telemetry dropouts and freezes per link-day, a few percent of
+        corrupted samples, and double-digit per-attempt hardware/solver
+        failure odds — enough that retries and fallbacks all exercise.
+        Intensity 0.0 degenerates to an all-zero plan (no faults fire).
+        """
+        base = (
+            FaultSpec("telemetry.dropout", rate_per_day=0.5, duration_s=2 * 3600.0),
+            FaultSpec("telemetry.stuck", rate_per_day=0.25, duration_s=3600.0),
+            FaultSpec("telemetry.corrupt", probability=0.02, magnitude_db=3.0),
+            FaultSpec(
+                "telemetry.delay",
+                rate_per_day=0.25,
+                duration_s=2 * 3600.0,
+                delay_samples=2,
+            ),
+            FaultSpec("bvt.failure", probability=0.2),
+            FaultSpec("bvt.power_cycle", probability=0.1),
+            FaultSpec("te.exception", probability=0.05),
+        )
+        return cls(specs=base, seed=seed).scaled(intensity)

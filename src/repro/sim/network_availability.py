@@ -26,11 +26,13 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.engine import Engine, Event, SequenceSource
+from repro.faults.inject import FaultInjector, as_injector
+from repro.faults.spec import FaultPlan
 from repro.net.demands import Demand
 from repro.net.srlg import SrlgMap, degrade_cable, fail_cable
 from repro.net.topology import Topology
 from repro.te.lp import MultiCommodityLp
-from repro.te.solution import TeSolution
+from repro.te.solution import TeSolution, empty_solution
 
 TeAlgorithm = Callable[[Topology, Sequence[Demand]], TeSolution]
 
@@ -92,6 +94,7 @@ def cable_event_impacts(
     fallback_capacity_gbps: float = 50.0,
     te_algorithm: TeAlgorithm = _lp_max_throughput,
     cables: Sequence[str] | None = None,
+    faults: FaultPlan | FaultInjector | None = None,
 ) -> NetworkAvailabilityReport:
     """Solve the fail-vs-flap scenario matrix for each cable.
 
@@ -105,11 +108,24 @@ def cable_event_impacts(
         te_algorithm: TE used for every scenario (default: throughput-
             maximising LP).
         cables: restrict to these cables (default: all).
+        faults: optional :class:`~repro.faults.spec.FaultPlan` /
+            :class:`~repro.faults.inject.FaultInjector`.  Only the
+            ``te.exception`` kind applies here: each per-cable scenario
+            solve may fail, degrading to the empty allocation (the
+            controller could not recompute while the event was live).
+            The baseline solve is always clean.  ``None`` is a
+            byte-identical no-op.
     """
     missing = srlgs.validate_against(topology)
     if missing:
         raise ValueError(f"SRLG map references unknown links: {missing[:5]}")
+    injector = as_injector(faults)
     baseline = te_algorithm(topology, demands).total_allocated_gbps
+
+    def scenario_te(scenario: Topology) -> float:
+        if injector is not None and injector.te_fails():
+            return empty_solution(scenario, demands).total_allocated_gbps
+        return te_algorithm(scenario, demands).total_allocated_gbps
 
     impacts: list[CableImpact] = []
     engine = Engine()
@@ -123,8 +139,8 @@ def cable_event_impacts(
         impact = CableImpact(
             cable=cable,
             baseline_gbps=baseline,
-            binary_gbps=te_algorithm(failed, demands).total_allocated_gbps,
-            dynamic_gbps=te_algorithm(flapped, demands).total_allocated_gbps,
+            binary_gbps=scenario_te(failed),
+            dynamic_gbps=scenario_te(flapped),
         )
         impacts.append(impact)
         engine.publish("cable.impact", impact)

@@ -41,6 +41,8 @@ from repro.engine import (
     TelemetryFeed,
     TelemetrySource,
 )
+from repro.faults.inject import FaultInjector, as_injector
+from repro.faults.spec import FaultPlan
 from repro.net.demands import Demand
 from repro.telemetry.traces import SnrTrace
 
@@ -177,6 +179,7 @@ def reactive_replay(
     mode: str = "reactive",
     pessimism_db: float = 4.0,
     detector_k_sigma: float = 5.0,
+    faults: FaultPlan | FaultInjector | None = None,
 ) -> ReactiveResult:
     """Walk the telemetry sample by sample, charging reaction lag.
 
@@ -191,6 +194,12 @@ def reactive_replay(
         pessimism_db: extra dB subtracted from a dipping link's SNR
             when proactive mode hands it to the policy.
         detector_k_sigma: alarm threshold of the proactive detectors.
+        faults: optional :class:`~repro.faults.spec.FaultPlan` /
+            :class:`~repro.faults.inject.FaultInjector`; the per-sample
+            walk then sees faulted telemetry (dropouts arrive as NaN,
+            which the dip detectors skip and the controller's stale
+            handling absorbs) and the controller's BVT/TE hooks are
+            armed.  ``None`` is a byte-identical no-op.
 
     Raises:
         ValueError: for a ``mode`` outside :data:`_MODES` — validated
@@ -199,7 +208,11 @@ def reactive_replay(
     """
     if mode not in _MODES:
         raise ValueError(f"unknown mode {mode!r} (expected one of {_MODES})")
+    injector = as_injector(faults)
     feed = TelemetryFeed(traces_by_link)
+    if injector is not None:
+        feed = injector.wrap_feed(feed)
+        controller.bind_faults(injector)
     if te_interval_s < feed.timebase.interval_s:
         raise ValueError("TE interval cannot be finer than the telemetry")
     stride = max(int(te_interval_s // feed.timebase.interval_s), 1)

@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.core.controller import ControllerReport, DynamicCapacityController
 from repro.engine import Engine, ScheduledRounds, SimClock, TelemetryFeed
+from repro.faults.inject import FaultInjector, as_injector
+from repro.faults.spec import FaultPlan
 from repro.net.demands import Demand
 from repro.telemetry.traces import SnrTrace
 
@@ -63,6 +65,7 @@ def replay_controller(
     *,
     te_interval_s: float = 4 * 3600.0,
     max_rounds: int | None = None,
+    faults: FaultPlan | FaultInjector | None = None,
 ) -> ReplayResult:
     """Drive ``controller`` with trace samples every ``te_interval_s``.
 
@@ -75,8 +78,18 @@ def replay_controller(
         te_interval_s: TE recomputation period (SWAN-style minutes-to-
             hours; default 4 h keeps long replays tractable).
         max_rounds: stop early after this many rounds.
+        faults: a :class:`~repro.faults.spec.FaultPlan` (or armed
+            :class:`~repro.faults.inject.FaultInjector`) to replay
+            under; the telemetry the controller sees is wrapped and the
+            controller's BVT/TE fault hooks are bound.  ``None`` (the
+            default) changes nothing — the run is bit-identical to one
+            without this parameter.
     """
+    injector = as_injector(faults)
     feed = TelemetryFeed(traces_by_link)
+    if injector is not None:
+        feed = injector.wrap_feed(feed)
+        controller.bind_faults(injector)
     rounds = ScheduledRounds(
         feed, te_interval_s=te_interval_s, max_rounds=max_rounds
     )

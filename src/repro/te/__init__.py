@@ -17,7 +17,7 @@ some of which happen to carry a penalty, and demands:
 * :mod:`~repro.te.solution` — the common solution/validation object.
 """
 
-from repro.te.solution import FlowAssignment, TeSolution
+from repro.te.solution import FlowAssignment, TeSolution, TeSolverError, empty_solution
 from repro.te.lp import MultiCommodityLp, LpOutcome
 from repro.te.pathlp import PathBasedLp, PathLpOutcome
 from repro.te.maxflow import max_flow, min_cost_max_flow, SingleCommodityResult
@@ -35,6 +35,8 @@ from repro.te.cspf import cspf_allocate
 __all__ = [
     "FlowAssignment",
     "TeSolution",
+    "TeSolverError",
+    "empty_solution",
     "MultiCommodityLp",
     "LpOutcome",
     "PathBasedLp",

@@ -18,6 +18,15 @@ from repro.net.topology import Topology
 EPSILON = 1e-6
 
 
+class TeSolverError(RuntimeError):
+    """A TE solve failed (injected fault or a genuine solver error).
+
+    The hardened controller catches exactly this type: wrap a real
+    backend failure in it when graceful degradation (retry, then hold
+    the last solution) is the desired response.
+    """
+
+
 @dataclass(frozen=True)
 class FlowAssignment:
     """How one demand is routed: flow per link id, plus the total."""

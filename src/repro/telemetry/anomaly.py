@@ -83,6 +83,9 @@ class EwmaDipDetector:
         self._state = SignalState.WARMING_UP
         self._dip_start = 0
         self._dip_min = math.inf
+        #: non-finite samples skipped (telemetry dropouts); they never
+        #: touch the EWMA statistics or the dip state machine
+        self.n_skipped = 0
 
     @property
     def state(self) -> SignalState:
@@ -98,7 +101,16 @@ class EwmaDipDetector:
 
     def update(self, snr_db: float, index: int) -> DipAlert | None:
         """Feed one sample; returns a closed :class:`DipAlert` when a
-        dip ends, None otherwise."""
+        dip ends, None otherwise.
+
+        A NaN/inf sample (a telemetry dropout) is skipped and counted:
+        the statistics, warm-up progress and any open dip are left
+        exactly as they were, so a dropout can neither poison the
+        baseline nor fake a recovery.
+        """
+        if not math.isfinite(snr_db):
+            self.n_skipped += 1
+            return None
         if self._n < self.warmup:
             # classic running mean/variance during warm-up
             self._n += 1

@@ -170,3 +170,59 @@ class TestEwmaAlarmMonitor:
         assert len(alarms) == 1  # one dip -> one alarm, not one per sample
         assert alarms[0].payload["link_id"] == "l0"
         assert alarms[0].payload["index"] == 60
+
+
+class TestFromSeriesNanTolerance:
+    def test_nan_time_names_link_and_index(self):
+        series = {"holey": ([0.0, float("nan"), 1800.0], [16.0, 16.0, 16.0])}
+        with pytest.raises(ValueError, match="'holey'.*non-finite sample time.*index 1"):
+            TelemetryFeed.from_series(series)
+
+    def test_nan_values_get_finite_baseline(self):
+        series = {
+            "l0": ([0.0, 900.0, 1800.0, 2700.0], [16.0, float("nan"), 14.0, 15.0])
+        }
+        feed = TelemetryFeed.from_series(series)
+        baseline = feed.traces_by_link["l0"].baseline_db
+        assert np.isfinite(baseline)
+        assert baseline == 15.0  # median of the finite samples only
+
+    def test_all_nan_values_fall_back_to_zero_baseline(self):
+        series = {"dark": ([0.0, 900.0], [float("nan"), float("nan")])}
+        feed = TelemetryFeed.from_series(series)
+        assert feed.traces_by_link["dark"].baseline_db == 0.0
+
+
+class TestEwmaAlarmMonitorNanTolerance:
+    def test_nan_samples_are_skipped_and_counted(self):
+        values = [16.0] * 60 + [float("nan")] * 5 + [16.0] * 5
+        feed = TelemetryFeed({"l0": trace("l0", values)})
+        monitor = EwmaAlarmMonitor(["l0"], k_sigma=5.0)
+        for sample in feed.iter_samples():
+            monitor.observe(None, sample)
+        assert monitor.n_skipped == 5
+        detector = monitor._detectors["l0"]
+        assert detector.baseline_db == pytest.approx(16.0, abs=0.01)
+
+    def test_dropout_inside_dip_does_not_fake_recovery(self):
+        values = [16.0] * 60 + [5.0, float("nan"), 5.0] + [16.0] * 5
+        feed = TelemetryFeed({"l0": trace("l0", values)})
+        engine = Engine()
+        monitor = EwmaAlarmMonitor(["l0"], k_sigma=5.0)
+        alarms = []
+        engine.subscribe(EwmaAlarmMonitor.KIND, alarms.append)
+        engine.subscribe(
+            TelemetrySource.KIND,
+            lambda e: monitor.observe(engine, e.payload),
+        )
+        engine.add_source(TelemetrySource(feed))
+        engine.run()
+        assert len(alarms) == 1  # the NaN neither closed nor reopened the dip
+
+    def test_unknown_link_gets_detector_on_first_sight(self):
+        from repro.engine.sources import TelemetrySample
+
+        monitor = EwmaAlarmMonitor(["l0"])
+        sample = TelemetrySample(index=0, time_s=0.0, snr_db={"l0": 16.0, "l9": 16.0})
+        monitor.observe(None, sample)
+        assert "l9" in monitor._detectors

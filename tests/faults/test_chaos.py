@@ -1,0 +1,76 @@
+"""Tests for the chaos harness and its invariant checks."""
+
+import pytest
+
+from repro.faults.chaos import chaos_verdicts, run_chaos_point
+
+
+@pytest.fixture(scope="module")
+def zero_point():
+    return run_chaos_point(intensity=0.0)
+
+
+@pytest.fixture(scope="module")
+def faulty_point():
+    return run_chaos_point(intensity=1.0)
+
+
+class TestZeroIntensity:
+    def test_is_fault_free(self, zero_point):
+        assert zero_point["fault_counts"] == {}
+        assert zero_point["n_retries"] == 0
+        assert zero_point["n_te_fallbacks"] == 0
+        assert zero_point["n_reconfig_failures"] == 0
+        assert zero_point["n_stale_link_rounds"] == 0
+        assert zero_point["fault_capacity_loss_gbps"] == 0.0
+
+    def test_matches_plain_replay_bit_for_bit(self, zero_point):
+        """Intensity 0 goes through faults=None — the golden path."""
+        again = run_chaos_point(intensity=0.0)
+        assert again == zero_point
+
+    def test_paired_runs_identical(self, zero_point):
+        assert zero_point["byte_identical"]
+
+
+class TestFaultyPoint:
+    def test_deterministic_and_ber_safe(self, faulty_point):
+        assert faulty_point["byte_identical"]
+        assert faulty_point["n_ber_violations"] == 0
+
+    def test_faults_actually_fired(self, faulty_point):
+        assert faulty_point["fault_counts"]
+        assert faulty_point["n_retries"] > 0
+
+    def test_degrades_relative_to_clean(self, zero_point, faulty_point):
+        assert (
+            faulty_point["mean_throughput_gbps"]
+            <= zero_point["mean_throughput_gbps"] * 1.10
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            run_chaos_point(policy="sprint")
+
+
+class TestVerdicts:
+    def test_clean_sweep_has_no_verdicts(self, zero_point, faulty_point):
+        assert chaos_verdicts([zero_point, faulty_point]) == []
+
+    def test_determinism_break_is_flagged(self, zero_point):
+        broken = {**zero_point, "byte_identical": False}
+        assert any(
+            "byte-identical" in v for v in chaos_verdicts([broken])
+        )
+
+    def test_ber_violation_is_flagged(self, zero_point):
+        broken = {**zero_point, "n_ber_violations": 2}
+        assert any("BER" in v for v in chaos_verdicts([broken]))
+
+    def test_throughput_rise_beyond_slack_is_flagged(self, zero_point):
+        low = {**zero_point, "intensity": 0.0, "mean_throughput_gbps": 100.0}
+        high = {**zero_point, "intensity": 1.0, "mean_throughput_gbps": 150.0}
+        assert any("monotonic" in v for v in chaos_verdicts([low, high]))
+        # within slack: no complaint
+        near = {**zero_point, "intensity": 1.0, "mean_throughput_gbps": 105.0}
+        assert chaos_verdicts([low, near]) == []

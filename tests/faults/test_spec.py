@@ -1,0 +1,113 @@
+"""Tests for the declarative fault specs and plans."""
+
+import pytest
+
+from repro.faults.spec import (
+    BERNOULLI_KINDS,
+    KINDS,
+    WINDOWED_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("telemetry.gremlins")
+
+    @pytest.mark.parametrize("kind", WINDOWED_KINDS)
+    def test_windowed_kinds_reject_probability(self, kind):
+        with pytest.raises(ValueError, match="windowed"):
+            FaultSpec(kind, probability=0.5)
+
+    @pytest.mark.parametrize("kind", BERNOULLI_KINDS)
+    def test_bernoulli_kinds_reject_rate(self, kind):
+        with pytest.raises(ValueError, match="per-event"):
+            FaultSpec(kind, rate_per_day=1.0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec("bvt.failure", probability=1.5)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate_per_day"):
+            FaultSpec("telemetry.dropout", rate_per_day=-1.0)
+
+    def test_applies_to_with_and_without_filter(self):
+        everywhere = FaultSpec("bvt.failure", probability=0.1)
+        scoped = FaultSpec("bvt.failure", probability=0.1, links=("l0",))
+        assert everywhere.applies_to("anything")
+        assert scoped.applies_to("l0")
+        assert not scoped.applies_to("l1")
+
+
+class TestScaling:
+    def test_rate_scales_linearly(self):
+        spec = FaultSpec("telemetry.dropout", rate_per_day=0.5, duration_s=60.0)
+        assert spec.scaled(4.0).rate_per_day == 2.0
+        assert spec.scaled(0.0).rate_per_day == 0.0
+
+    def test_probability_caps_at_one(self):
+        spec = FaultSpec("bvt.failure", probability=0.4)
+        assert spec.scaled(10.0).probability == 1.0
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError, match="intensity"):
+            FaultSpec("bvt.failure", probability=0.1).scaled(-1.0)
+
+    def test_plan_scales_every_spec(self):
+        plan = FaultPlan.standard(1.0, seed=3)
+        doubled = plan.scaled(2.0)
+        assert doubled.seed == 3
+        for spec, scaled in zip(plan.specs, doubled.specs):
+            assert scaled.rate_per_day == 2.0 * spec.rate_per_day
+
+
+class TestPlanQueries:
+    def test_specs_for_filters_by_kind(self):
+        plan = FaultPlan.standard()
+        assert all(
+            s.kind == "telemetry.dropout"
+            for s in plan.specs_for("telemetry.dropout")
+        )
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            plan.specs_for("nope")
+
+    def test_probability_sums_and_caps(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec("bvt.failure", probability=0.7),
+                FaultSpec("bvt.failure", probability=0.7),
+                FaultSpec("bvt.failure", probability=0.3, links=("l9",)),
+            )
+        )
+        assert plan.probability("bvt.failure", "l9") == 1.0
+        assert plan.probability("bvt.failure", "l0") == pytest.approx(1.0)
+
+    def test_has_telemetry_faults(self):
+        assert not FaultPlan(
+            specs=(FaultSpec("bvt.failure", probability=0.1),)
+        ).has_telemetry_faults
+        assert FaultPlan(
+            specs=(FaultSpec("telemetry.dropout", rate_per_day=1.0, duration_s=1.0),)
+        ).has_telemetry_faults
+
+
+class TestSerialization:
+    def test_round_trip_preserves_plan(self):
+        plan = FaultPlan.standard(1.5, seed=11)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_link_filter_survives_round_trip(self):
+        spec = FaultSpec("telemetry.corrupt", probability=0.1,
+                         magnitude_db=2.0, links=("a", "b"))
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_standard_zero_intensity_is_inert(self):
+        plan = FaultPlan.standard(0.0)
+        assert all(s.rate_per_day == 0.0 and s.probability == 0.0
+                   for s in plan.specs)
+
+    def test_kinds_cover_windowed_and_bernoulli(self):
+        assert set(KINDS) == set(WINDOWED_KINDS) | set(BERNOULLI_KINDS)

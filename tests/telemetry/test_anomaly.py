@@ -127,3 +127,44 @@ class TestOnRealisticTraces:
         assert trace.snr_db.min() > 6.5  # invisible to the binary rule
         alerts = detect_dips(trace)
         assert any(a.depth_db > 5.0 for a in alerts)
+
+
+class TestNanTolerance:
+    def test_nan_skipped_and_counted(self):
+        detector = EwmaDipDetector(warmup=8)
+        for i in range(50):
+            detector.update(15.0, i)
+        baseline = detector.baseline_db
+        for i in range(50, 55):
+            assert detector.update(float("nan"), i) is None
+        assert detector.n_skipped == 5
+        assert detector.baseline_db == baseline  # statistics untouched
+        assert detector.state is SignalState.NORMAL
+
+    def test_nan_during_warmup_does_not_advance_warmup(self):
+        detector = EwmaDipDetector(warmup=8)
+        for i in range(4):
+            detector.update(float("nan"), i)
+        assert detector.state is SignalState.WARMING_UP
+        for i in range(4, 12):
+            detector.update(15.0, i)
+        assert detector.state is SignalState.NORMAL
+        assert detector.baseline_db == pytest.approx(15.0)
+
+    def test_nan_during_dip_neither_closes_nor_deepens_it(self):
+        detector = EwmaDipDetector(warmup=8, k_sigma=4.0)
+        for i in range(50):
+            detector.update(15.0, i)
+        detector.update(5.0, 50)
+        assert detector.state is SignalState.DIP
+        assert detector.update(float("nan"), 51) is None
+        assert detector.state is SignalState.DIP
+        alert = detector.update(15.0, 52)
+        assert alert is not None
+        assert alert.depth_db == pytest.approx(10.0, abs=0.5)
+
+    def test_inf_also_skipped(self):
+        detector = EwmaDipDetector(warmup=8)
+        detector.update(float("inf"), 0)
+        detector.update(float("-inf"), 1)
+        assert detector.n_skipped == 2
