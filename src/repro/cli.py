@@ -25,10 +25,13 @@ canonical rendering — exactly what a sweep artifact would replay:
     repro sweep resume quick-1a2b3c4d            # finish a killed run
     repro sweep compare RUN [RUN_B]              # vs paper, or run vs run
 
-Global flags (``--workers``, ``--no-cache``, ``--bench-json``) are
-accepted both before and after the subcommand.  ``--workers N`` spreads
-work over N processes (also the ``REPRO_WORKERS`` env var);
-``--no-cache`` bypasses the on-disk summary cache (``REPRO_CACHE_DIR``);
+Global flags (``--workers``, ``--no-cache``, ``--no-te-cache``,
+``--bench-json``) are accepted both before and after the subcommand.
+``--workers N`` spreads work over N processes (also the
+``REPRO_WORKERS`` env var); ``--no-cache`` bypasses the on-disk summary
+cache (``REPRO_CACHE_DIR``); ``--no-te-cache`` disables the in-memory
+incremental TE solve cache (:mod:`repro.te.incremental`; also the
+``REPRO_TE_NO_CACHE`` env var — results are byte-identical either way);
 ``--bench-json PATH`` writes the run's timing report (:mod:`repro.perf`)
 to a machine-readable JSON file.  Sweep runs live under
 ``REPRO_SWEEP_DIR`` (default ``~/.cache/repro/sweeps``).
@@ -56,7 +59,11 @@ def _version() -> str:
 def _context(args: argparse.Namespace) -> "Any":
     from repro.experiments import ExecutionContext
 
-    return ExecutionContext(workers=args.workers, cache=not args.no_cache)
+    return ExecutionContext(
+        workers=args.workers,
+        cache=not args.no_cache,
+        te_cache=False if args.no_te_cache else None,
+    )
 
 
 def _run_and_render(args: argparse.Namespace, name: str, **params: Any) -> int:
@@ -332,6 +339,13 @@ def _global_flags(parser: argparse.ArgumentParser, *, suppress: bool) -> None:
         help="bypass the on-disk summary cache (see REPRO_CACHE_DIR)",
     )
     parser.add_argument(
+        "--no-te-cache", action="store_true", default=default(False),
+        help=(
+            "disable the incremental TE solve cache "
+            "(repro.te.incremental; also REPRO_TE_NO_CACHE)"
+        ),
+    )
+    parser.add_argument(
         "--bench-json", type=str, metavar="PATH", default=default(""),
         help="write the run's timing report (repro.perf) to PATH",
     )
@@ -505,6 +519,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.no_te_cache:
+        # cover code paths that consult the environment rather than an
+        # ExecutionContext (default-constructed controllers, pool workers)
+        import os
+
+        from repro.te.incremental import NO_TE_CACHE_ENV
+
+        os.environ[NO_TE_CACHE_ENV] = "1"
     status = args.handler(args)
     if args.bench_json:
         from repro import perf

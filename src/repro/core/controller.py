@@ -55,6 +55,7 @@ from repro.optics.modulation import (
     ModulationTable,
 )
 from repro.seeds import component_rng
+from repro.te.incremental import CachedTeAlgorithm, te_cache_enabled
 from repro.te.lp import MultiCommodityLp
 from repro.te.solution import TeSolution, TeSolverError, empty_solution
 
@@ -198,6 +199,7 @@ class DynamicCapacityController:
         stale_hold_rounds: int = 3,
         stale_fallback_gbps: float = 50.0,
         audit: bool = False,
+        te_cache: bool | None = None,
     ):
         """``drain_before_change`` applies Section 4.2's consistent-update
         recipe: before reconfiguring a link's BVT, re-run the TE with
@@ -225,6 +227,16 @@ class DynamicCapacityController:
         (the paper's degraded 50 Gbps floor) until telemetry returns.
         ``audit`` forces the per-round BER-feasibility audit even with
         no fault injector bound.
+
+        ``te_cache`` governs the incremental TE accelerator
+        (:mod:`repro.te.incremental`): when on — the default, unless
+        ``REPRO_TE_NO_CACHE``/``REPRO_NO_CACHE`` is set — and the
+        controller runs the *default* TE objective, per-round solves go
+        through a private :class:`~repro.te.incremental.TeSolveCache`
+        (structure reuse + exact memoization, bit-identical to fresh
+        solves).  A custom ``te_algorithm`` is never wrapped: its
+        purity is unknown.  Each controller owns its cache, so paired
+        chaos runs and side-by-side policy comparisons stay isolated.
         """
         self.physical = topology
         self.policy = policy if policy is not None else walk_policy(table=table)
@@ -233,7 +245,9 @@ class DynamicCapacityController:
             if penalty_policy is not None
             else TrafficDisruptionPenalty()
         )
+        self._te_base = te_algorithm
         self.te_algorithm = te_algorithm
+        self.configure_te_cache(te_cache_enabled(te_cache))
         self.table = table
         self.procedure = procedure
         self.drain_before_change = drain_before_change
@@ -266,6 +280,30 @@ class DynamicCapacityController:
         self._stale_rounds: dict[str, int] = {}
         self._last_solution: TeSolution | None = None
         self.total_downtime_s = 0.0
+
+    # -- TE solve cache -------------------------------------------------------
+
+    def configure_te_cache(self, enabled: bool | None) -> None:
+        """Switch the incremental TE solve cache on or off.
+
+        ``None`` leaves the current wiring untouched (scenario helpers
+        pass their own ``te_cache`` knob straight through).  Only the
+        default objective is ever wrapped: a custom ``te_algorithm``
+        runs unwrapped either way, and an explicitly injected
+        :class:`~repro.te.incremental.CachedTeAlgorithm` is the
+        caller's to manage.  Enabling twice keeps the existing cache
+        (and its warmed structures); disabling restores the exact
+        callable the controller was constructed with.
+        """
+        if enabled is None:
+            return
+        if enabled:
+            if self._te_base is default_te_algorithm and not isinstance(
+                self.te_algorithm, CachedTeAlgorithm
+            ):
+                self.te_algorithm = CachedTeAlgorithm()
+        else:
+            self.te_algorithm = self._te_base
 
     # -- fault injection ------------------------------------------------------
 
@@ -337,6 +375,13 @@ class DynamicCapacityController:
 
         Returns ``(solution | None, retries, backoff_s)``; ``None``
         means every attempt raised and the caller must degrade.
+
+        Retry attempts within a round reuse the already-assembled LP:
+        the injected fault gate raises *before* the algorithm runs, and
+        a genuine :class:`~repro.te.solution.TeSolverError` from the
+        cached default algorithm leaves the assembled structure in the
+        controller's :class:`~repro.te.incremental.TeSolveCache` — so a
+        retried round pays at most one assembly, not one per attempt.
         """
         attempts = 1 + (self.retry.max_retries if self.retry is not None else 0)
         retries = 0

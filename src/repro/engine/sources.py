@@ -169,7 +169,37 @@ class TelemetryFeed:
     def iter_samples(
         self, *, stride: int = 1, max_samples: int | None = None
     ) -> Iterator[TelemetrySample]:
-        """Stream samples without materializing the whole horizon."""
+        """Stream samples without materializing the whole horizon.
+
+        Scheduled-round access (``stride`` > 1: one TE round every N
+        telemetry points) takes a batch path: each trace's strided
+        samples are gathered with one numpy indexing operation into an
+        (n_links, n_rounds) block — small, because rounds subsample the
+        grid — instead of one scalar fancy-read per (link, round).
+        Values and dict order are identical to the per-sample path.
+        """
+        if stride > 1:
+            index_list = list(range(0, self.timebase.n_samples, stride))
+            if max_samples is not None:
+                index_list = index_list[:max_samples]
+            if not index_list:
+                return
+            link_ids = list(self.traces_by_link)
+            idx = np.asarray(index_list, dtype=np.int64)
+            columns = np.stack(
+                [
+                    np.asarray(self.traces_by_link[l].snr_db, dtype=float)[idx]
+                    for l in link_ids
+                ]
+            )
+            for j, index in enumerate(index_list):
+                yield TelemetrySample(
+                    index=index,
+                    time_s=self.timebase.start_s
+                    + index * self.timebase.interval_s,
+                    snr_db=dict(zip(link_ids, columns[:, j].tolist())),
+                )
+            return
         for index, time_s, snrs in iter_link_samples(
             self.traces_by_link,
             timebase=self.timebase,

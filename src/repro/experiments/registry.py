@@ -42,6 +42,10 @@ class ExecutionContext:
 
     workers: int | None = None
     cache: bool | None = None
+    #: incremental TE solve cache override (None defers to the
+    #: environment); results are byte-identical either way, so this is
+    #: a how-to-run knob like the others
+    te_cache: bool | None = None
 
 
 @dataclass(frozen=True)
@@ -532,6 +536,8 @@ def _run_whatif(
         corpus,
         srlgs,
         fallback_capacity_gbps=fallback_gbps,
+        workers=ctx.workers,
+        te_cache=ctx.te_cache,
     )
     return {
         "n_tickets": int(report.n_tickets),
@@ -577,7 +583,9 @@ register(
             "repro.net.srlg",
             "repro.net.topologies",
             "repro.optics.modulation",
+            "repro.parallel",
             "repro.sim.whatif",
+            "repro.te.incremental",
             "repro.te.lp",
             "repro.tickets.generator",
             "repro.tickets.model",
@@ -641,7 +649,9 @@ def _run_reactive(
         topology, offered_gbps, component_rng(seed, "reactive.demands")
     )
     policy_fn = {"run": run_policy, "walk": walk_policy, "crawl": crawl_policy}[policy]
-    controller = DynamicCapacityController(topology, policy=policy_fn(), seed=seed)
+    controller = DynamicCapacityController(
+        topology, policy=policy_fn(), seed=seed, te_cache=ctx.te_cache
+    )
     result = reactive_replay(
         controller,
         dict(zip(link_ids, traces)),
@@ -744,6 +754,7 @@ register(
             "repro.optics.impairments",
             "repro.optics.modulation",
             "repro.sim.replay",
+            "repro.te.incremental",
             "repro.te.lp",
             "repro.te.solution",
             "repro.telemetry.timebase",
@@ -780,6 +791,8 @@ register(
             "repro.optics.impairments",
             "repro.optics.modulation",
             "repro.sim.reactive",
+            "repro.te.incremental",
+            "repro.te.lp",
             "repro.telemetry.anomaly",
             "repro.telemetry.timebase",
             "repro.telemetry.traces",

@@ -109,6 +109,15 @@ class PerfRegistry:
     def event_count(self, name: str) -> int:
         return self._events.get(name, 0)
 
+    def hit_rate(self, hit_name: str, miss_name: str) -> float:
+        """Fraction of hits among ``hit_name`` + ``miss_name`` events.
+
+        0.0 when neither counter has fired (no traffic, no claim).
+        """
+        hits = self.event_count(hit_name)
+        total = hits + self.event_count(miss_name)
+        return hits / total if total else 0.0
+
     def collect(self, extra: dict[str, Any] | None = None) -> dict[str, Any]:
         """Aggregate everything recorded so far into a report dict.
 
@@ -208,6 +217,10 @@ def timer_stat(name: str) -> TimerStat | None:
 
 def event_count(name: str) -> int:
     return current().event_count(name)
+
+
+def hit_rate(hit_name: str, miss_name: str) -> float:
+    return current().hit_rate(hit_name, miss_name)
 
 
 def collect(extra: dict[str, Any] | None = None) -> dict[str, Any]:

@@ -31,6 +31,7 @@ from repro.faults.spec import FaultPlan
 from repro.net.demands import Demand
 from repro.net.srlg import SrlgMap, degrade_cable, fail_cable
 from repro.net.topology import Topology
+from repro.te.incremental import batch_throughput
 from repro.te.lp import MultiCommodityLp
 from repro.te.solution import TeSolution, empty_solution
 
@@ -95,6 +96,8 @@ def cable_event_impacts(
     te_algorithm: TeAlgorithm = _lp_max_throughput,
     cables: Sequence[str] | None = None,
     faults: FaultPlan | FaultInjector | None = None,
+    workers: int | None = None,
+    te_cache: bool | None = None,
 ) -> NetworkAvailabilityReport:
     """Solve the fail-vs-flap scenario matrix for each cable.
 
@@ -115,12 +118,46 @@ def cable_event_impacts(
             controller could not recompute while the event was live).
             The baseline solve is always clean.  ``None`` is a
             byte-identical no-op.
+        workers: spread the independent scenario solves over the shared
+            pool (``None`` defers to ``REPRO_WORKERS``).  Batching only
+            applies on fault-free runs: an armed injector draws its
+            ``te_fails`` stream sequentially per scenario, so those
+            runs keep the lazy per-event order.
+        te_cache: override the incremental TE cache (``None`` defers to
+            the environment).  Values are identical either way.
     """
     missing = srlgs.validate_against(topology)
     if missing:
         raise ValueError(f"SRLG map references unknown links: {missing[:5]}")
     injector = as_injector(faults)
-    baseline = te_algorithm(topology, demands).total_allocated_gbps
+    drill_cables = list(cables if cables is not None else srlgs.cables())
+
+    scenario_values: dict[tuple[str, bool], float] = {}
+    if injector is None:
+        # fault-free runs batch-solve the whole matrix up front (the
+        # baseline rides along first); per-worker structure caches make
+        # the flap scenarios RHS-only re-solves of the baseline LP
+        algo = None if te_algorithm is _lp_max_throughput else te_algorithm
+        keys = [(cable, binary) for cable in drill_cables for binary in (True, False)]
+        scenarios = [topology] + [
+            fail_cable(topology, srlgs, cable)
+            if binary
+            else degrade_cable(
+                topology, srlgs, cable, capacity_gbps=fallback_capacity_gbps
+            )
+            for cable, binary in keys
+        ]
+        values = batch_throughput(
+            scenarios,
+            demands,
+            te_algorithm=algo,
+            workers=workers,
+            te_cache=te_cache,
+        )
+        baseline = values[0]
+        scenario_values = dict(zip(keys, values[1:]))
+    else:
+        baseline = te_algorithm(topology, demands).total_allocated_gbps
 
     def scenario_te(scenario: Topology) -> float:
         if injector is not None and injector.te_fails():
@@ -132,15 +169,21 @@ def cable_event_impacts(
 
     def on_cable_event(event: Event) -> None:
         _, cable = event.payload
-        failed = fail_cable(topology, srlgs, cable)
-        flapped = degrade_cable(
-            topology, srlgs, cable, capacity_gbps=fallback_capacity_gbps
-        )
+        if injector is None:
+            binary_gbps = scenario_values[(cable, True)]
+            dynamic_gbps = scenario_values[(cable, False)]
+        else:
+            failed = fail_cable(topology, srlgs, cable)
+            flapped = degrade_cable(
+                topology, srlgs, cable, capacity_gbps=fallback_capacity_gbps
+            )
+            binary_gbps = scenario_te(failed)
+            dynamic_gbps = scenario_te(flapped)
         impact = CableImpact(
             cable=cable,
             baseline_gbps=baseline,
-            binary_gbps=scenario_te(failed),
-            dynamic_gbps=scenario_te(flapped),
+            binary_gbps=binary_gbps,
+            dynamic_gbps=dynamic_gbps,
         )
         impacts.append(impact)
         engine.publish("cable.impact", impact)

@@ -8,6 +8,9 @@ some of which happen to carry a penalty, and demands:
 * :mod:`~repro.te.lp` — the edge-based multicommodity LP core
   (maximum throughput, two-phase min-penalty-at-max-throughput,
   max-concurrent-flow), solved with scipy's HiGHS backend;
+* :mod:`~repro.te.incremental` — the round-to-round solve accelerator:
+  structure reuse, exact solution memoization and batched what-if
+  solves (bit-identical to fresh solves; see that module's docstring);
 * :mod:`~repro.te.maxflow` — single-commodity max flow / min-cost
   max-flow on the link-expanded graph (networkx cross-check);
 * :mod:`~repro.te.swan` — SWAN-style priority-class allocation;
@@ -19,6 +22,12 @@ some of which happen to carry a penalty, and demands:
 
 from repro.te.solution import FlowAssignment, TeSolution, TeSolverError, empty_solution
 from repro.te.lp import MultiCommodityLp, LpOutcome
+from repro.te.incremental import (
+    CachedTeAlgorithm,
+    TeSolveCache,
+    batch_throughput,
+    te_cache_enabled,
+)
 from repro.te.pathlp import PathBasedLp, PathLpOutcome
 from repro.te.maxflow import max_flow, min_cost_max_flow, SingleCommodityResult
 from repro.te.decompose import (
@@ -39,6 +48,10 @@ __all__ = [
     "empty_solution",
     "MultiCommodityLp",
     "LpOutcome",
+    "CachedTeAlgorithm",
+    "TeSolveCache",
+    "batch_throughput",
+    "te_cache_enabled",
     "PathBasedLp",
     "PathLpOutcome",
     "max_flow",

@@ -26,7 +26,7 @@ Matrices are assembled sparse (COO) — an augmented 21-node backbone with
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -48,6 +48,10 @@ class LpOutcome:
     status: str
     #: for max_concurrent_flow: the common satisfaction fraction
     concurrency: float | None = None
+    #: the raw solver vector (excluded from equality: replaying it
+    #: through :meth:`MultiCommodityLp._extract` is how the incremental
+    #: layer memoizes exact solutions without re-solving)
+    x: np.ndarray | None = field(default=None, compare=False, repr=False)
 
 
 class MultiCommodityLp:
@@ -88,6 +92,29 @@ class MultiCommodityLp:
         self._conservation_cache: tuple[sparse.coo_matrix, np.ndarray] | None = None
         self._capacity_cache: tuple[sparse.coo_matrix, np.ndarray] | None = None
         self._penalty_cache: np.ndarray | None = None
+        # the CSR conversions linprog needs are deterministic and as
+        # reusable as the COO blocks themselves; cache them alongside
+        self._conservation_csr: sparse.csr_matrix | None = None
+        self._capacity_csr: sparse.csr_matrix | None = None
+
+    def rebind(self, topology: Topology) -> None:
+        """Re-point this assembled LP at a structurally identical topology.
+
+        The caller (see :mod:`repro.te.incremental`) guarantees
+        ``topology`` has the same nodes and the same links — ids,
+        endpoints, insertion order — as the instance was built from;
+        only per-link capacities and penalties may differ.  The capacity
+        RHS is rewritten in place (O(n_links)) and the penalty vector is
+        dropped for lazy rebuild; every assembled constraint block and
+        its CSR form is reused as-is, so a rebound instance solves with
+        matrices value-identical to fresh assembly.
+        """
+        self.topology = topology
+        self.links = list(topology.links)
+        if self._capacity_cache is not None:
+            b_ub = self._capacity_cache[1]
+            b_ub[:] = [l.capacity_gbps for l in self.links]
+        self._penalty_cache = None
 
     # -- variable layout --------------------------------------------------
 
@@ -167,6 +194,18 @@ class MultiCommodityLp:
                 self._capacity_cache = (a_ub, b_ub)
         return self._capacity_cache
 
+    def _conservation_matrix(self) -> sparse.csr_matrix:
+        """The conservation block in the CSR form linprog consumes."""
+        if self._conservation_csr is None:
+            self._conservation_csr = self._conservation()[0].tocsr()
+        return self._conservation_csr
+
+    def _capacity_matrix(self) -> sparse.csr_matrix:
+        """The capacity block in the CSR form linprog consumes."""
+        if self._capacity_csr is None:
+            self._capacity_csr = self._capacity()[0].tocsr()
+        return self._capacity_csr
+
     def _bounds(self, *, cap_throughput: bool = True) -> list[tuple[float, float | None]]:
         bounds: list[tuple[float, float | None]] = [
             (0.0, None) for _ in range(self.n_flow_vars)
@@ -218,8 +257,14 @@ class MultiCommodityLp:
         )
         t_vals = np.asarray(x[self.n_flow_vars : self.n_flow_vars + self.n_demands])
         edge_flows: list[dict[str, float]] = [{} for _ in range(self.n_demands)]
-        for k, e in zip(*(idx.tolist() for idx in np.nonzero(flows > EPSILON))):
-            edge_flows[k][self._link_ids[e]] = float(flows[k, e])
+        # one mask drops the near-zero flows; nonzero gives the surviving
+        # (commodity, link) pairs in row-major order, and one fancy-index
+        # gather pulls their values — Python only touches the survivors
+        mask = flows > EPSILON
+        ks, es = np.nonzero(mask)
+        link_ids = self._link_ids
+        for k, e, value in zip(ks.tolist(), es.tolist(), flows[mask].tolist()):
+            edge_flows[k][link_ids[e]] = value
         assignments = [
             FlowAssignment(
                 demand=demand,
@@ -238,18 +283,26 @@ class MultiCommodityLp:
         approximation of the two-phase program.  Keep it well below
         1/max_path_length or it will start sacrificing throughput.
         """
-        a_eq, b_eq = self._conservation()
-        a_ub, b_ub = self._capacity()
+        b_eq = self._conservation()[1]
+        b_ub = self._capacity()[1]
         c = penalty_weight * self._penalty_vector()
         # tiny per-unit-flow cost keeps solutions off pointless cycles
         c[: self.n_flow_vars] += 1e-9
         c[self.n_flow_vars :] = -1.0  # linprog minimises; t vars fill the tail
-        result = self._run(c, a_ub, b_ub, a_eq, b_eq, self._bounds())
+        result = self._run(
+            c,
+            self._capacity_matrix(),
+            b_ub,
+            self._conservation_matrix(),
+            b_eq,
+            self._bounds(),
+        )
         solution = self._extract(result.x)
         return LpOutcome(
             solution=solution,
             objective_value=solution.total_allocated_gbps,
             status="optimal",
+            x=result.x,
         )
 
     def min_penalty_at_max_throughput(self) -> LpOutcome:
@@ -262,8 +315,8 @@ class MultiCommodityLp:
         phase1 = self.max_throughput()
         t_star = phase1.objective_value
 
-        a_eq, b_eq = self._conservation()
-        a_ub, b_ub = self._capacity()
+        b_eq = self._conservation()[1]
+        b_ub = self._capacity()[1]
         # extra row: -sum_k t_k <= -(T* - eps)
         extra = sparse.coo_matrix(
             (
@@ -276,17 +329,20 @@ class MultiCommodityLp:
             shape=(1, self.n_vars),
         )
         slack = max(1e-7 * max(t_star, 1.0), 1e-9)
-        a_ub_full = sparse.vstack([a_ub, extra])
+        a_ub_full = sparse.vstack([self._capacity_matrix(), extra])
         b_ub_full = np.concatenate([b_ub, [-(t_star - slack)]])
         c = self._penalty_vector()
         # tiny tie-break keeps flow off zero-penalty cycles
         c[: self.n_flow_vars] += 1e-9
-        result = self._run(c, a_ub_full, b_ub_full, a_eq, b_eq, self._bounds())
+        result = self._run(
+            c, a_ub_full, b_ub_full, self._conservation_matrix(), b_eq, self._bounds()
+        )
         solution = self._extract(result.x)
         return LpOutcome(
             solution=solution,
             objective_value=solution.penalty_cost,
             status="optimal",
+            x=result.x,
         )
 
     def min_max_utilization(self) -> LpOutcome:
@@ -344,6 +400,7 @@ class MultiCommodityLp:
             solution=solution,
             objective_value=float(result.x[mu]),
             status="optimal",
+            x=result.x,
         )
 
     def max_concurrent_flow(self, *, cap_at_one: bool = True) -> LpOutcome:
@@ -400,4 +457,5 @@ class MultiCommodityLp:
             objective_value=float(result.x[lam]),
             status="optimal",
             concurrency=float(result.x[lam]),
+            x=result.x,
         )

@@ -1,0 +1,297 @@
+"""The incremental TE layer: reuse, memoization, invalidation, gating.
+
+The contract under test is strict: every cached answer must be
+*bit-identical* to a fresh ``MultiCommodityLp`` solve, and every input
+change — capacities, topology structure, demand set — must invalidate
+exactly the right layer (memo vs. structure) of the cache.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.core.controller import DynamicCapacityController, default_te_algorithm
+from repro.core.policies import run_policy
+from repro.faults.spec import FaultPlan, FaultSpec
+from repro.net.demands import Demand, gravity_demands
+from repro.net.srlg import duplex_srlgs, fail_cable
+from repro.net.topologies import abilene, figure7_topology, line_topology
+from repro.optics.impairments import AmplifierDegradation
+from repro.sim.replay import replay_controller
+from repro.te.incremental import (
+    NO_CACHE_ENV,
+    NO_TE_CACHE_ENV,
+    CachedTeAlgorithm,
+    TeSolveCache,
+    batch_throughput,
+    te_cache_enabled,
+)
+from repro.te.lp import MultiCommodityLp
+from repro.telemetry.timebase import Timebase
+from repro.telemetry.traces import NoiseModel, synthesize_cable_traces
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
+
+
+def _wan():
+    return abilene()
+
+
+def _demands(topology, volume=5000.0, seed=0):
+    return gravity_demands(topology, volume, np.random.default_rng(seed))
+
+
+def _scaled(topology, factor):
+    """Same structure, different capacities."""
+    out = topology.copy()
+    for link in out.real_links():
+        out.replace_link(link.link_id, capacity_gbps=link.capacity_gbps * factor)
+    return out
+
+
+def _assert_identical(a, b):
+    assert a.objective_value == b.objective_value
+    assert a.status == b.status
+    assert a.solution.assignments == b.solution.assignments
+
+
+class TestMemoization:
+    def test_memo_hit_is_bit_identical(self):
+        topo, demands = _wan(), _demands(_wan())
+        cache = TeSolveCache()
+        with perf.isolated() as reg:
+            first = cache.solve(topo, demands)
+            second = cache.solve(topo, demands)
+        assert reg.event_count("te.cache.memo_miss") == 1
+        assert reg.event_count("te.cache.memo_hit") == 1
+        fresh = MultiCommodityLp(topo, demands).min_penalty_at_max_throughput()
+        _assert_identical(first, fresh)
+        _assert_identical(second, fresh)
+
+    def test_methods_memoized_independently(self):
+        topo, demands = _wan(), _demands(_wan())
+        cache = TeSolveCache()
+        with perf.isolated() as reg:
+            cache.solve(topo, demands, method="max_throughput")
+            cache.solve(topo, demands, method="min_penalty_at_max_throughput")
+        assert reg.event_count("te.cache.memo_miss") == 2
+        assert reg.event_count("te.cache.memo_hit") == 0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown solve method"):
+            TeSolveCache().solve(_wan(), _demands(_wan()), method="simplex")
+        with pytest.raises(ValueError, match="unknown solve method"):
+            CachedTeAlgorithm(method="simplex")
+
+
+class TestStructureReuse:
+    def test_capacity_change_reuses_structure(self):
+        topo, demands = _wan(), _demands(_wan())
+        flapped = _scaled(topo, 0.8)
+        cache = TeSolveCache()
+        with perf.isolated() as reg:
+            cache.solve(topo, demands)
+            warm = cache.solve(flapped, demands)
+            # one assembly serves both rounds: the flap is RHS-only
+            assert reg.timer_stat("lp.assemble.conservation").count == 1
+            assert reg.timer_stat("lp.assemble.capacity").count == 1
+            assert reg.event_count("te.cache.structure_hit") == 1
+            assert reg.event_count("te.cache.memo_miss") == 2
+        fresh = MultiCommodityLp(flapped, demands).min_penalty_at_max_throughput()
+        _assert_identical(warm, fresh)
+
+    def test_cable_cut_misses_structure(self):
+        topo = figure7_topology()
+        srlgs = duplex_srlgs(topo)
+        cut = fail_cable(topo, srlgs, srlgs.cables()[0])
+        demands = [Demand("A", "D", 150.0), Demand("B", "C", 80.0)]
+        cache = TeSolveCache()
+        with perf.isolated() as reg:
+            cache.solve(topo, demands)
+            after = cache.solve(cut, demands)
+            assert reg.event_count("te.cache.structure_miss") == 2
+            assert reg.event_count("te.cache.structure_hit") == 0
+        _assert_identical(
+            after, MultiCommodityLp(cut, demands).min_penalty_at_max_throughput()
+        )
+        assert cache.n_structures == 2
+
+    def test_demand_change_misses_structure(self):
+        topo = _wan()
+        cache = TeSolveCache()
+        with perf.isolated() as reg:
+            cache.solve(topo, _demands(topo, seed=0))
+            cache.solve(topo, _demands(topo, seed=1))
+            assert reg.event_count("te.cache.structure_miss") == 2
+
+    def test_lru_eviction_keeps_answers_exact(self):
+        small = TeSolveCache(memo_size=1, structure_size=1)
+        t_a, t_b = line_topology(3), line_topology(4)
+        d_a, d_b = _demands(t_a, 300.0), _demands(t_b, 300.0)
+        for _ in range(3):  # oscillate; every round evicts the other
+            a = small.solve(t_a, d_a)
+            b = small.solve(t_b, d_b)
+            assert small.n_structures == 1
+            assert small.n_memo_entries == 1
+        _assert_identical(
+            a, MultiCommodityLp(t_a, d_a).min_penalty_at_max_throughput()
+        )
+        _assert_identical(
+            b, MultiCommodityLp(t_b, d_b).min_penalty_at_max_throughput()
+        )
+
+
+class TestGating:
+    def test_env_vars_disable(self, monkeypatch):
+        monkeypatch.delenv(NO_TE_CACHE_ENV, raising=False)
+        monkeypatch.delenv(NO_CACHE_ENV, raising=False)
+        assert te_cache_enabled() is True
+        monkeypatch.setenv(NO_TE_CACHE_ENV, "1")
+        assert te_cache_enabled() is False
+        assert te_cache_enabled(True) is True  # explicit override wins
+        monkeypatch.delenv(NO_TE_CACHE_ENV)
+        monkeypatch.setenv(NO_CACHE_ENV, "true")
+        assert te_cache_enabled() is False
+        assert te_cache_enabled(False) is False
+
+    def test_controller_wrapping_follows_gate(self, monkeypatch):
+        monkeypatch.delenv(NO_TE_CACHE_ENV, raising=False)
+        monkeypatch.delenv(NO_CACHE_ENV, raising=False)
+        topo = line_topology(3)
+        assert isinstance(
+            DynamicCapacityController(topo).te_algorithm, CachedTeAlgorithm
+        )
+        assert (
+            DynamicCapacityController(topo, te_cache=False).te_algorithm
+            is default_te_algorithm
+        )
+        monkeypatch.setenv(NO_TE_CACHE_ENV, "1")
+        assert (
+            DynamicCapacityController(topo).te_algorithm is default_te_algorithm
+        )
+
+    def test_custom_te_algorithm_never_wrapped(self):
+        def my_te(topology, demands):
+            return default_te_algorithm(topology, demands)
+
+        controller = DynamicCapacityController(line_topology(3), te_algorithm=my_te)
+        assert controller.te_algorithm is my_te
+        controller.configure_te_cache(True)
+        assert controller.te_algorithm is my_te
+
+    def test_cli_flag_parses_into_context(self):
+        from repro.cli import _context, build_parser
+
+        args = build_parser().parse_args(["tickets", "--no-te-cache"])
+        assert args.no_te_cache is True
+        assert _context(args).te_cache is False
+        args = build_parser().parse_args(["tickets"])
+        assert _context(args).te_cache is None
+
+
+def _dip_replay(te_cache, *, dip_db, faults=None):
+    """A 3-node replay whose mid-run dip can force a link dark."""
+    topology = line_topology(3)
+    link_ids = [l.link_id for l in topology.real_links()]
+    timebase = Timebase.from_duration(days=2.0)
+    traces = synthesize_cable_traces(
+        "cut-cable",
+        np.full(len(link_ids), 16.0),
+        timebase,
+        [AmplifierDegradation(86_400.0, 6 * 3600.0, dip_db)],
+        {},
+        NoiseModel(sigma_db=0.05, wander_amplitude_db=0.0),
+        np.random.default_rng(3),
+    )
+    demands = gravity_demands(topology, 500.0, np.random.default_rng(4))
+    controller = DynamicCapacityController(
+        topology, policy=run_policy(), seed=0, te_cache=te_cache
+    )
+    return replay_controller(
+        controller,
+        dict(zip(link_ids, traces)),
+        demands,
+        te_interval_s=6 * 3600.0,
+        faults=faults,
+    )
+
+
+def _assert_replays_identical(a, b):
+    assert np.array_equal(a.times_s, b.times_s)
+    assert np.array_equal(a.throughput_gbps, b.throughput_gbps)
+    assert np.array_equal(a.downtime_s, b.downtime_s)
+    assert np.array_equal(a.n_failed, b.n_failed)
+    for ra, rb in zip(a.reports, b.reports):
+        assert ra.solution.assignments == rb.solution.assignments
+        assert ra.upgrades == rb.upgrades
+        assert ra.downgrades == rb.downgrades
+
+
+class TestInvalidationUnderReplay:
+    def test_dark_link_misses_structure_and_matches_uncached(self):
+        # a 14 dB dip from a 16 dB baseline is below every rung: the
+        # link goes dark mid-run and the working topology loses an edge
+        with perf.isolated() as reg:
+            cached = _dip_replay(True, dip_db=14.0)
+            # at least: first round, dark round, recovery round
+            assert reg.event_count("te.cache.structure_miss") >= 3
+            assert reg.event_count("te.cache.memo_hit") > 0
+        uncached = _dip_replay(False, dip_db=14.0)
+        assert np.any(uncached.n_failed > 0)  # the cut really happened
+        _assert_replays_identical(cached, uncached)
+
+    def test_fault_injected_run_matches_uncached(self):
+        # forced BVT power cycles dark links through the fault layer;
+        # the cache must track those topology changes too
+        link = line_topology(3).real_links()[0].link_id
+        plan = FaultPlan(
+            specs=(
+                FaultSpec("bvt.power_cycle", probability=1.0, links=(link,)),
+            ),
+            seed=11,
+        )
+        cached = _dip_replay(True, dip_db=9.0, faults=plan)
+        uncached = _dip_replay(False, dip_db=9.0, faults=plan)
+        _assert_replays_identical(cached, uncached)
+
+    def test_golden_replay_byte_identical_with_cache_disabled(self, monkeypatch):
+        # the committed goldens were captured pre-cache; the cache-off
+        # path must still reproduce them to the byte (the default,
+        # cache-on path is covered by tests/engine/test_golden_equivalence)
+        from tests.golden.scenarios import SCENARIOS, canonical_json
+
+        monkeypatch.setenv(NO_TE_CACHE_ENV, "1")
+        got = canonical_json(SCENARIOS["replay"]())
+        assert got == (GOLDEN_DIR / "replay.json").read_text()
+
+
+class TestBatchedWhatIf:
+    def test_worker_and_cache_knobs_do_not_change_values(self):
+        topo = figure7_topology()
+        srlgs = duplex_srlgs(topo)
+        demands = [Demand("A", "D", 150.0), Demand("B", "C", 80.0)]
+        scenarios = [topo] + [
+            fail_cable(topo, srlgs, cable) for cable in srlgs.cables()[:3]
+        ]
+        serial = batch_throughput(scenarios, demands, workers=1, te_cache=False)
+        assert serial == batch_throughput(scenarios, demands, workers=1)
+        assert serial == batch_throughput(scenarios, demands, workers=2)
+        assert serial == [
+            MultiCommodityLp(s, demands).max_throughput().objective_value
+            for s in scenarios
+        ]
+
+    def test_custom_algorithm_is_used(self):
+        calls = []
+
+        def my_te(topology, demands):
+            calls.append(topology)
+            return default_te_algorithm(topology, demands)
+
+        topo = line_topology(3)
+        demands = _demands(topo, 300.0)
+        values = batch_throughput([topo, topo], demands, te_algorithm=my_te)
+        assert len(calls) == 2
+        assert values[0] == values[1]
