@@ -26,6 +26,7 @@ import numpy as np
 from repro.bvt.transceiver import Bvt, ChangeProcedure
 from repro.engine import Engine, Event, SequenceSource
 from repro.optics.constellation import Constellation, ConstellationSample
+from repro.obs import trace as _trace
 from repro.optics.fiber import FiberCable, LineSystem
 from repro.optics.modulation import DEFAULT_MODULATIONS, ModulationTable
 
@@ -129,7 +130,13 @@ class Testbed:
                 time_s=self.bvt.clock.now_s,
             )
         )
-        engine.run()
+        _trace.observe_engine(engine)
+        with _trace.span(
+            "testbed.modulation_changes",
+            procedure=procedure.value,
+            n_changes=n_changes,
+        ):
+            engine.run()
         return np.asarray(downtimes)
 
     def run_figure6_experiment(self, n_changes: int = 200) -> TestbedReport:

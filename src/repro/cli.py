@@ -26,20 +26,26 @@ canonical rendering — exactly what a sweep artifact would replay:
     repro sweep compare RUN [RUN_B]              # vs paper, or run vs run
 
 Global flags (``--workers``, ``--no-cache``, ``--no-te-cache``,
-``--bench-json``) are accepted both before and after the subcommand.
-``--workers N`` spreads work over N processes (also the
+``--bench-json``, ``--trace``) are accepted both before and after the
+subcommand.  ``--workers N`` spreads work over N processes (also the
 ``REPRO_WORKERS`` env var); ``--no-cache`` bypasses the on-disk summary
 cache (``REPRO_CACHE_DIR``); ``--no-te-cache`` disables the in-memory
 incremental TE solve cache (:mod:`repro.te.incremental`; also the
 ``REPRO_TE_NO_CACHE`` env var — results are byte-identical either way);
 ``--bench-json PATH`` writes the run's timing report (:mod:`repro.perf`)
-to a machine-readable JSON file.  Sweep runs live under
-``REPRO_SWEEP_DIR`` (default ``~/.cache/repro/sweeps``).
+to a machine-readable JSON file; ``--trace DIR`` (also the
+``REPRO_TRACE`` env var) records the run under a
+:class:`~repro.obs.Tracer` and writes ``trace.json`` /
+``span_tree.json`` / ``events.jsonl`` / ``metrics.prom`` into DIR —
+results are byte-identical with tracing on or off.  Sweep runs live
+under ``REPRO_SWEEP_DIR`` (default ``~/.cache/repro/sweeps``); sweep
+progress goes to stderr (silence it with ``--quiet``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Any, Sequence
 
@@ -226,6 +232,13 @@ def _cmd_export(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _progress(args: argparse.Namespace) -> "Any":
+    """Per-point progress callback: stderr, unless ``--quiet``."""
+    if getattr(args, "quiet", False):
+        return None
+    return lambda line: print(line, file=sys.stderr)
+
+
 def _cmd_sweep_run(args: argparse.Namespace) -> int:
     from repro.experiments import load_sweep, run_sweep
 
@@ -236,7 +249,8 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         context=_context(args),
         max_runs=args.max_runs,
-        progress=print,
+        progress=_progress(args),
+        trace=bool(_trace_dir(args)),
     )
     return _sweep_summary(report)
 
@@ -249,7 +263,8 @@ def _cmd_sweep_resume(args: argparse.Namespace) -> int:
         workers=args.workers,
         context=_context(args),
         max_runs=args.max_runs,
-        progress=print,
+        progress=_progress(args),
+        trace=bool(_trace_dir(args)),
     )
     return _sweep_summary(report)
 
@@ -348,6 +363,14 @@ def _global_flags(parser: argparse.ArgumentParser, *, suppress: bool) -> None:
     parser.add_argument(
         "--bench-json", type=str, metavar="PATH", default=default(""),
         help="write the run's timing report (repro.perf) to PATH",
+    )
+    parser.add_argument(
+        "--trace", type=str, metavar="DIR", default=default(""),
+        help=(
+            "record the run with repro.obs and write trace.json / "
+            "span_tree.json / events.jsonl / metrics.prom into DIR "
+            "(also the REPRO_TRACE env var; results are unchanged)"
+        ),
     )
 
 
@@ -483,6 +506,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="run directory (default: under the sweep root)")
     sweep_run.add_argument("--max-runs", type=int, default=None, metavar="N",
                            help="execute at most N fresh points, defer the rest")
+    sweep_run.add_argument("--quiet", action="store_true",
+                           help="suppress per-point progress (stderr)")
     sweep_run.set_defaults(handler=_cmd_sweep_run)
 
     sweep_resume = sweep_sub.add_parser(
@@ -491,6 +516,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_resume.add_argument("run", type=str,
                               help="run directory path or name under the root")
     sweep_resume.add_argument("--max-runs", type=int, default=None, metavar="N")
+    sweep_resume.add_argument("--quiet", action="store_true",
+                              help="suppress per-point progress (stderr)")
     sweep_resume.set_defaults(handler=_cmd_sweep_resume)
 
     sweep_list = sweep_sub.add_parser(
@@ -517,17 +544,33 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _trace_dir(args: argparse.Namespace) -> str:
+    """The ``--trace`` target: the flag, else the ``REPRO_TRACE`` env."""
+    return getattr(args, "trace", "") or os.environ.get("REPRO_TRACE", "")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.no_te_cache:
         # cover code paths that consult the environment rather than an
         # ExecutionContext (default-constructed controllers, pool workers)
-        import os
-
         from repro.te.incremental import NO_TE_CACHE_ENV
 
         os.environ[NO_TE_CACHE_ENV] = "1"
-    status = args.handler(args)
+    trace_dir = _trace_dir(args)
+    if trace_dir:
+        from repro import obs
+
+        tracer = obs.Tracer()
+        with obs.tracing(tracer):
+            status = args.handler(args)
+        registry = obs.metrics.current()
+        paths = obs.export_run(trace_dir, tracer, registry)
+        print(obs.run_summary(tracer, registry), file=sys.stderr)
+        for path in sorted(paths.values()):
+            print(f"wrote {path}", file=sys.stderr)
+    else:
+        status = args.handler(args)
     if args.bench_json:
         from repro import perf
 

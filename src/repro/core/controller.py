@@ -49,6 +49,8 @@ from repro.core.translation import LinkUpgrade, translate
 from repro.net.demands import Demand
 from repro.net.srlg import SrlgMap
 from repro.net.topology import Topology
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.optics.modulation import (
     DEFAULT_MODULATIONS,
     LOSS_OF_LIGHT_SNR_DB,
@@ -351,6 +353,28 @@ class DynamicCapacityController:
         retries back off per :attr:`retry`.  With no retry policy the
         first failure is final — the unhardened fail-fast behaviour.
         """
+        with _trace.span(
+            "bvt.reconfigure", link=link_id, target_gbps=capacity_gbps
+        ) as sp:
+            outcome = self._reconfigure_attempts(link_id, capacity_gbps)
+            if sp is not None:
+                sp.set(
+                    ok=outcome.ok,
+                    retries=outcome.retries,
+                    downtime_s=outcome.downtime_s,
+                    backoff_s=outcome.backoff_s,
+                )
+            if outcome.ok:
+                _metrics.histogram("controller.reconfig_downtime_s").observe(
+                    outcome.downtime_s
+                )
+            else:
+                _metrics.counter("controller.reconfig_failures").inc()
+            return outcome
+
+    def _reconfigure_attempts(
+        self, link_id: str, capacity_gbps: float
+    ) -> _ReconfigOutcome:
         attempts = 1 + (self.retry.max_retries if self.retry is not None else 0)
         retries = 0
         backoff_s = 0.0
@@ -363,7 +387,11 @@ class DynamicCapacityController:
                 if attempt + 1 >= attempts:
                     return _ReconfigOutcome(0.0, False, retries, backoff_s)
                 retries += 1
-                backoff_s += self.retry.delay_s(attempt, self._backoff_rng)
+                delay_s = self.retry.delay_s(attempt, self._backoff_rng)
+                backoff_s += delay_s
+                _trace.point(
+                    "bvt.retry", link=link_id, attempt=attempt, backoff_s=delay_s
+                )
             else:
                 return _ReconfigOutcome(result.downtime_s, True, retries, backoff_s)
         raise AssertionError("unreachable")
@@ -383,6 +411,25 @@ class DynamicCapacityController:
         controller's :class:`~repro.te.incremental.TeSolveCache` — so a
         retried round pays at most one assembly, not one per attempt.
         """
+        with _trace.span(
+            "te.solve", n_links=len(topology.links), n_demands=len(demands)
+        ) as sp:
+            solution, retries, backoff_s = self._solve_te_attempts(
+                topology, demands
+            )
+            if sp is not None:
+                sp.set(
+                    ok=solution is not None,
+                    retries=retries,
+                    backoff_s=backoff_s,
+                )
+            if solution is None:
+                _metrics.counter("controller.te_fallbacks").inc()
+            return solution, retries, backoff_s
+
+    def _solve_te_attempts(
+        self, topology: Topology, demands: Sequence[Demand]
+    ) -> tuple[TeSolution | None, int, float]:
         attempts = 1 + (self.retry.max_retries if self.retry is not None else 0)
         retries = 0
         backoff_s = 0.0
@@ -395,7 +442,9 @@ class DynamicCapacityController:
                 if attempt + 1 >= attempts:
                     return None, retries, backoff_s
                 retries += 1
-                backoff_s += self.retry.delay_s(attempt, self._backoff_rng)
+                delay_s = self.retry.delay_s(attempt, self._backoff_rng)
+                backoff_s += delay_s
+                _trace.point("te.retry", attempt=attempt, backoff_s=delay_s)
         raise AssertionError("unreachable")
 
     # -- engine integration ---------------------------------------------------
@@ -452,6 +501,25 @@ class DynamicCapacityController:
                 constructor's robustness knobs).
             demands: the traffic matrix for this round.
         """
+        _metrics.counter("controller.rounds").inc()
+        with _trace.span("controller.round") as sp:
+            report = self._step_round(snr_by_link, demands)
+            if sp is not None:
+                sp.set(
+                    throughput_gbps=report.throughput_gbps,
+                    n_upgrades=len(report.upgrades),
+                    n_downgrades=len(report.downgrades),
+                    n_retries=report.n_retries,
+                    downtime_s=report.reconfiguration_downtime_s,
+                    te_fallback=report.te_fallback,
+                )
+            return report
+
+    def _step_round(
+        self,
+        snr_by_link: Mapping[str, float],
+        demands: Sequence[Demand],
+    ) -> ControllerReport:
         downtime = 0.0
         n_retries = 0
         backoff_s = 0.0

@@ -72,6 +72,8 @@ class EngineStats:
     by_kind: dict[str, int] = field(default_factory=dict)
     first_time_s: float | None = None
     last_time_s: float | None = None
+    #: observer callbacks that raised (isolated, never felt by handlers)
+    n_observer_errors: int = 0
 
     def record(self, event: Event) -> None:
         self.n_events += 1
@@ -197,7 +199,14 @@ class Engine:
         for handler in self._handlers.get(event.kind, ()):
             handler(event)
         for observer in self._observers:
-            observer(event)
+            # Observers are the passive metrics/tracing hook: one
+            # raising must not disturb the timeline, the remaining
+            # observers, or scenario state.  Failures are counted, not
+            # propagated.
+            try:
+                observer(event)
+            except Exception:
+                self.stats.n_observer_errors += 1
 
     def run(
         self, *, until_s: float | None = None, max_events: int | None = None

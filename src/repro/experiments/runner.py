@@ -12,7 +12,15 @@ spec file) picks up exactly the missing ones.
 
 Every run executes inside :func:`repro.perf.isolated`, so its artifact
 carries its *own* timing report instead of an accumulation of whatever
-ran earlier in the process.
+ran earlier in the process — and, since the perf layer records into a
+:class:`~repro.obs.metrics.MetricsRegistry`, each artifact also ships
+its metrics in mergeable form.  The sweep folds every completed
+point's registry into one fleet-wide view
+(:attr:`SweepReport.metrics`); merged totals are invariant to the
+worker count.  With ``trace=True`` each point additionally runs under
+a :class:`~repro.obs.Tracer` and its span/event record is exported
+into the run directory's ``obs/<key>/`` (see
+:meth:`~repro.experiments.store.RunStore.save_obs`).
 """
 
 from __future__ import annotations
@@ -27,6 +35,8 @@ from repro import perf
 from repro.experiments.registry import ExecutionContext, run_spec, spec_key
 from repro.experiments.spec import ScenarioSpec, Sweep
 from repro.experiments.store import ManifestEntry, RunStore, run_dir_for
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.parallel import pool_map, resolve_workers
 
 ProgressFn = Callable[[str], None]
@@ -51,6 +61,9 @@ class SweepReport:
     records: tuple[RunRecord, ...]
     #: points left unexecuted (``max_runs`` budget exhausted)
     pending: tuple[str, ...] = field(default_factory=tuple)
+    #: fleet-wide metrics merged over every completed point's registry
+    #: (worker-count invariant; None when no artifact carried metrics)
+    metrics: obs_metrics.MetricsRegistry | None = None
 
     @property
     def n_fresh(self) -> int:
@@ -78,25 +91,35 @@ def _execute_point(payload: dict[str, Any]) -> dict[str, Any]:
     """
     spec = ScenarioSpec.from_payload(payload["spec"])
     context = ExecutionContext(**payload["context"])
+    tracer = obs_trace.Tracer() if payload.get("trace") else None
     start = time.perf_counter()
     try:
         with perf.isolated() as registry:
-            result = run_spec(spec, context)
-        return {
+            if tracer is not None:
+                with obs_trace.tracing(tracer):
+                    with tracer.span("sweep.point", spec=spec.name):
+                        result = run_spec(spec, context)
+            else:
+                result = run_spec(spec, context)
+        artifact = {
             "spec": spec.to_payload(),
             "experiment": spec.experiment,
             "result": result,
             "perf": registry.collect(),
+            "metrics": registry.metrics.to_payload(),
             "elapsed_s": time.perf_counter() - start,
-            "created_unix": time.time(),
+            "created_unix": obs_metrics.timestamp_unix(),
         }
+        if tracer is not None:
+            artifact["obs_trace"] = tracer.to_payload()
+        return artifact
     except Exception:
         return {
             "spec": spec.to_payload(),
             "experiment": spec.experiment,
             "error": traceback.format_exc(),
             "elapsed_s": time.perf_counter() - start,
-            "created_unix": time.time(),
+            "created_unix": obs_metrics.timestamp_unix(),
         }
 
 
@@ -108,6 +131,7 @@ def run_sweep(
     context: ExecutionContext | None = None,
     max_runs: int | None = None,
     progress: ProgressFn | None = None,
+    trace: bool = False,
 ) -> SweepReport:
     """Execute (or resume) a sweep into a run directory.
 
@@ -126,6 +150,10 @@ def run_sweep(
             as ``pending``.
         progress: per-point callback (e.g. ``print``); receives one
             formatted line per completed point.
+        trace: run every fresh point under a
+            :class:`~repro.obs.Tracer` and export its trace artifacts
+            into ``<run_dir>/obs/<key>/``.  Tracing never changes
+            results or artifact keys.
     """
     if max_runs is not None and max_runs < 0:
         raise ValueError("max_runs must be non-negative")
@@ -153,7 +181,8 @@ def run_sweep(
         todo = todo[:max_runs]
 
     payloads = [
-        {"spec": spec.to_payload(), "context": vars(context)} for spec, _ in todo
+        {"spec": spec.to_payload(), "context": vars(context), "trace": trace}
+        for spec, _ in todo
     ]
     n_workers = resolve_workers(workers)
     with perf.timer("sweep.run", workers=n_workers, n_points=n_total):
@@ -175,8 +204,19 @@ def run_sweep(
                     f"({error.strip().splitlines()[-1]})"
                 )
                 continue
+            obs_ref: str | None = None
+            trace_payload = artifact.pop("obs_trace", None)
+            if trace_payload is not None:
+                obs_path = store.save_obs(
+                    key, trace_payload, artifact.get("metrics")
+                )
+                if obs_path is not None:
+                    obs_ref = str(obs_path.relative_to(store.run_dir))
+                    artifact["obs"] = obs_ref
             store.save_artifact(key, artifact)
-            store.append_manifest(ManifestEntry(spec.name, key, "fresh", elapsed))
+            store.append_manifest(
+                ManifestEntry(spec.name, key, "fresh", elapsed, obs=obs_ref)
+            )
             records.append(RunRecord(spec.name, key, "fresh", elapsed))
             perf.event("sweep.point_fresh")
             say(
@@ -186,9 +226,39 @@ def run_sweep(
 
     for name in pending:
         say(f"[--/{n_total}] {name}: deferred (max-runs budget)")
+    fleet = _merge_fleet_metrics(store)
+    if trace and fleet is not None:
+        from repro.obs.export import prometheus_text
+
+        store.obs_dir.mkdir(parents=True, exist_ok=True)
+        (store.obs_dir / "fleet_metrics.prom").write_text(
+            prometheus_text(fleet)
+        )
     return SweepReport(
-        run_dir=store.run_dir, records=tuple(records), pending=pending
+        run_dir=store.run_dir,
+        records=tuple(records),
+        pending=pending,
+        metrics=fleet,
     )
+
+
+def _merge_fleet_metrics(store: RunStore) -> obs_metrics.MetricsRegistry | None:
+    """Fold every stored artifact's registry into one fleet view.
+
+    Reads the *store*, not this session's records, so a resumed run
+    reports totals over reused points too.  Merge order is the sorted
+    artifact order — deterministic, and irrelevant for everything
+    except gauges (see :meth:`MetricsRegistry.merge`).
+    """
+    fleet: obs_metrics.MetricsRegistry | None = None
+    for artifact in store.artifacts():
+        payload = artifact.get("metrics")
+        if not payload:
+            continue
+        if fleet is None:
+            fleet = obs_metrics.MetricsRegistry()
+        fleet.merge(obs_metrics.MetricsRegistry.from_payload(payload))
+    return fleet
 
 
 def resume_sweep(
@@ -198,6 +268,7 @@ def resume_sweep(
     context: ExecutionContext | None = None,
     max_runs: int | None = None,
     progress: ProgressFn | None = None,
+    trace: bool = False,
 ) -> SweepReport:
     """Continue a killed or budget-capped run from its directory.
 
@@ -215,4 +286,5 @@ def resume_sweep(
         context=context,
         max_runs=max_runs,
         progress=progress,
+        trace=trace,
     )

@@ -6,6 +6,9 @@ One sweep run owns one directory::
       sweep.json            the sweep definition (re-expandable)
       manifest.jsonl        one line per completed point, append-only
       artifacts/<key>.json  one artifact per completed point
+      obs/<key>/...         per-point trace artifacts (traced runs only:
+                            trace.json, span_tree.json, events.jsonl,
+                            metrics.prom — see :mod:`repro.obs.export`)
 
 Artifacts are keyed by :func:`repro.experiments.registry.spec_key` —
 resolved parameters plus the experiment's code fingerprint — so a run
@@ -31,18 +34,19 @@ import hashlib
 import json
 import os
 import tempfile
-import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
 from repro.experiments.spec import Sweep
+from repro.obs.metrics import timestamp_unix
 
 #: Environment variable overriding the sweep-run root directory.
 SWEEP_DIR_ENV = "REPRO_SWEEP_DIR"
 
 _SCHEMA = 1
 _ARTIFACT_DIR = "artifacts"
+_OBS_DIR = "obs"
 
 
 def sweep_root() -> Path:
@@ -85,6 +89,8 @@ class ManifestEntry:
     status: str  # "fresh" | "reused" | "failed"
     elapsed_s: float = 0.0
     error: str | None = None
+    #: run-dir-relative path of the point's trace artifacts (traced only)
+    obs: str | None = None
 
     def to_payload(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -92,10 +98,12 @@ class ManifestEntry:
             "key": self.key,
             "status": self.status,
             "elapsed_s": self.elapsed_s,
-            "ts": time.time(),
+            "ts": timestamp_unix(),
         }
         if self.error:
             payload["error"] = self.error
+        if self.obs:
+            payload["obs"] = self.obs
         return payload
 
 
@@ -107,6 +115,7 @@ class RunStore:
         self.sweep_path = self.run_dir / "sweep.json"
         self.manifest_path = self.run_dir / "manifest.jsonl"
         self.artifacts_dir = self.run_dir / _ARTIFACT_DIR
+        self.obs_dir = self.run_dir / _OBS_DIR
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -179,6 +188,44 @@ class RunStore:
             if artifact is not None:
                 out.append(artifact)
         out.sort(key=lambda a: a.get("spec", {}).get("name", ""))
+        return out
+
+    # -- trace artifacts ----------------------------------------------------
+
+    def obs_dir_for(self, key: str) -> Path:
+        """Where one traced point's observability artifacts live."""
+        return self.obs_dir / key
+
+    def save_obs(
+        self,
+        key: str,
+        trace_payload: Mapping[str, Any] | None = None,
+        metrics_payload: Mapping[str, Any] | None = None,
+    ) -> Path | None:
+        """Write one traced point's artifact set under ``obs/<key>/``.
+
+        ``trace_payload`` / ``metrics_payload`` are the plain-JSON
+        forms shipped back from the worker
+        (:meth:`repro.obs.Tracer.to_payload` /
+        :meth:`repro.obs.MetricsRegistry.to_payload`).  Returns the
+        directory, or ``None`` when there was nothing to write.
+        """
+        from repro.obs import MetricsRegistry, Tracer, export_run
+
+        tracer = (
+            Tracer.from_payload(trace_payload)
+            if trace_payload is not None
+            else None
+        )
+        registry = (
+            MetricsRegistry.from_payload(metrics_payload)
+            if metrics_payload is not None
+            else None
+        )
+        if tracer is None and registry is None:
+            return None
+        out = self.obs_dir_for(key)
+        export_run(out, tracer, registry)
         return out
 
     # -- manifest ----------------------------------------------------------

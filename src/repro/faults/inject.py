@@ -33,6 +33,8 @@ import numpy as np
 
 from repro.engine.sources import TelemetryFeed, TelemetrySample
 from repro.faults.spec import FaultPlan, FaultSpec
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.seeds import component_rng, component_seed
 
 
@@ -68,6 +70,10 @@ class FaultInjector:
 
     def count(self, kind: str, n: int = 1) -> None:
         self.counts[kind] = self.counts.get(kind, 0) + n
+        # observability: every activation is a labelled counter and,
+        # when a tracer is active, a point event on the run timeline
+        _metrics.counter("faults.activated", kind=kind).inc(n)
+        _trace.point("fault.activated", kind=kind, n=n)
 
     # -- telemetry seam -----------------------------------------------------
 

@@ -23,6 +23,8 @@ from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Iterator, TypeVar
 
+from repro.obs import metrics as _metrics
+
 _T = TypeVar("_T")
 _S = TypeVar("_S")
 
@@ -78,10 +80,12 @@ def pool_map(
     streaming consumer keeps a bounded-memory guarantee even when
     producers run ahead.
     """
+    _metrics.gauge("parallel.workers").set(workers)
     with make_pool(workers) as pool:
         pending: deque = deque()
         for item in items:
             pending.append(pool.submit(fn, item))
+            _metrics.counter("parallel.jobs").inc()
             if len(pending) > workers + 2:
                 yield pending.popleft().result()
         while pending:

@@ -1,5 +1,15 @@
 """Lightweight timing instrumentation for the hot paths.
 
+.. deprecated::
+    ``repro.perf`` is now a back-compat shim over
+    :mod:`repro.obs.metrics`: every timer lands in a
+    :class:`~repro.obs.metrics.Summary` and every event in a
+    :class:`~repro.obs.metrics.Counter` of the *current*
+    :class:`~repro.obs.metrics.MetricsRegistry`.  The public API and
+    the ``BENCH.json`` schema are unchanged; new instrumentation
+    should use :mod:`repro.obs` directly (labels, gauges, histograms,
+    cross-worker merging).
+
 The synthesis and TE layers are wrapped in named timers so benchmarks,
 the CLI and CI can answer "where did the time go?" without a profiler.
 Three primitives:
@@ -12,7 +22,7 @@ Three primitives:
   so far into a report dict, optionally persisted as ``BENCH.json`` so
   the perf trajectory is tracked PR-over-PR.
 
-All state lives in a *current* :class:`PerfRegistry` — the process-wide
+All state lives in a *current* registry — the process-wide
 :data:`REGISTRY` by default.  Tests and benchmarks either call
 :func:`reset` or, better, enter :func:`isolated`, which swaps in a fresh
 registry for the enclosed block (per thread, so pool workers running in
@@ -20,94 +30,64 @@ the thread-fallback mode cannot bleed timers into each other).  The
 sweep runner (:mod:`repro.experiments.runner`) wraps every run in
 :func:`isolated` so back-to-back runs in one process each report their
 own timings instead of accumulating into one global report.  The
-overhead per record is one ``perf_counter`` pair and a dict update —
-cheap enough to leave the instrumentation on unconditionally.
+``generated_unix`` stamp honours ``SOURCE_DATE_EPOCH`` so CI can
+byte-diff two reports from identical runs.
 """
 
 from __future__ import annotations
 
 import json
-import math
 import platform
-import threading
 import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
+from .obs import metrics as _metrics
+from .obs.metrics import MetricsRegistry, Summary, timestamp_unix
+
 SCHEMA_VERSION = 1
 
-
-@dataclass
-class TimerStat:
-    """Aggregate of every interval recorded under one timer name."""
-
-    count: int = 0
-    total_s: float = 0.0
-    min_s: float = math.inf
-    max_s: float = 0.0
-    #: metadata of the most recent record (workers, cache state, ...)
-    meta: dict[str, Any] = field(default_factory=dict)
-
-    def add(self, elapsed_s: float, meta: dict[str, Any]) -> None:
-        self.count += 1
-        self.total_s += elapsed_s
-        self.min_s = min(self.min_s, elapsed_s)
-        self.max_s = max(self.max_s, elapsed_s)
-        if meta:
-            self.meta = dict(meta)
-
-    @property
-    def mean_s(self) -> float:
-        return self.total_s / self.count if self.count else 0.0
-
-    def as_dict(self) -> dict[str, Any]:
-        return {
-            "count": self.count,
-            "total_s": self.total_s,
-            "mean_s": self.mean_s,
-            "min_s": self.min_s if self.count else 0.0,
-            "max_s": self.max_s,
-            "meta": self.meta,
-        }
+#: Back-compat alias: the ``BENCH.json`` timer aggregate now lives in
+#: :mod:`repro.obs.metrics` (same fields, same ``as_dict`` layout).
+TimerStat = Summary
 
 
 class PerfRegistry:
-    """Named timers and counters, aggregated in memory."""
+    """Named timers and counters — a view over a :class:`MetricsRegistry`.
 
-    def __init__(self) -> None:
-        self._timers: dict[str, TimerStat] = {}
-        self._events: dict[str, int] = {}
+    Timers are recorded as unlabelled summaries, events as unlabelled
+    counters, on :attr:`metrics`.  Anything else recorded on the same
+    metrics registry (labelled counters from :mod:`repro.obs`
+    instrumentation, for instance) also shows up in :meth:`collect`'s
+    ``events`` section under its flat series name.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # the canonical view current() hands out for this metrics registry
+        self.metrics._perf_view = self  # type: ignore[attr-defined]
 
     # -- recording --------------------------------------------------------
 
-    @contextmanager
-    def timer(self, name: str, **meta: Any) -> Iterator[None]:
+    def timer(self, name: str, **meta: Any):
         """Time the enclosed block and record it under ``name``."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.record(name, time.perf_counter() - start, **meta)
+        return _TimerContext(self, name, meta)
 
     def record(self, name: str, elapsed_s: float, **meta: Any) -> None:
         """Record one already-measured interval."""
-        if elapsed_s < 0:
-            raise ValueError("elapsed time must be non-negative")
-        self._timers.setdefault(name, TimerStat()).add(elapsed_s, meta)
+        self.metrics.summary(name).add(elapsed_s, meta)
 
     def event(self, name: str, count: int = 1) -> None:
         """Bump a named counter (cache hit, cable skipped, ...)."""
-        self._events[name] = self._events.get(name, 0) + count
+        self.metrics.counter(name).inc(count)
 
     # -- reading ----------------------------------------------------------
 
     def timer_stat(self, name: str) -> TimerStat | None:
-        return self._timers.get(name)
+        return self.metrics.get_summary(name)
 
     def event_count(self, name: str) -> int:
-        return self._events.get(name, 0)
+        return int(self.metrics.counter_value(name))
 
     def hit_rate(self, hit_name: str, miss_name: str) -> float:
         """Fraction of hits among ``hit_name`` + ``miss_name`` events.
@@ -123,26 +103,46 @@ class PerfRegistry:
 
         The layout is the ``BENCH.json`` schema: stable keys, plain JSON
         types, timers keyed by name with count/total/mean/min/max.
+        Gauges and histograms (recordable only through
+        :mod:`repro.obs`) appear as extra sections when present.
         """
+        events: dict[str, Any] = {}
+        for name, value in self.metrics.counters().items():
+            events[name] = int(value) if value == int(value) else value
         report: dict[str, Any] = {
             "schema": SCHEMA_VERSION,
-            "generated_unix": time.time(),
+            "generated_unix": timestamp_unix(),
             "host": {
                 "platform": platform.platform(),
                 "python": platform.python_version(),
             },
             "timers": {
-                name: stat.as_dict() for name, stat in sorted(self._timers.items())
+                name: stat.as_dict()
+                for name, stat in self.metrics.summaries().items()
             },
-            "events": dict(sorted(self._events.items())),
+            "events": events,
         }
+        gauges = self.metrics.gauges()
+        if gauges:
+            report["gauges"] = gauges
+        histograms = self.metrics.histograms()
+        if histograms:
+            report["histograms"] = {
+                name: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "inf_count": h.inf_count,
+                    "total": h.total,
+                    "n": h.n,
+                }
+                for name, h in histograms.items()
+            }
         if extra:
             report["extra"] = dict(extra)
         return report
 
     def reset(self) -> None:
-        self._timers.clear()
-        self._events.clear()
+        self.metrics.reset()
 
     def write_bench(
         self,
@@ -156,29 +156,70 @@ class PerfRegistry:
         return path
 
 
-#: Process-wide default registry used by the library's instrumentation.
-REGISTRY = PerfRegistry()
+class _TimerContext:
+    """Context manager measuring one interval (perf_counter pair)."""
 
-_isolation = threading.local()
+    __slots__ = ("_registry", "_name", "_meta", "_start")
+
+    def __init__(self, registry: PerfRegistry, name: str, meta: dict[str, Any]):
+        self._registry = registry
+        self._name = name
+        self._meta = meta
+
+    def __enter__(self) -> None:
+        self._start = time.perf_counter()
+        return None
+
+    def __exit__(self, *exc: Any) -> None:
+        self._registry.record(
+            self._name, time.perf_counter() - self._start, **self._meta
+        )
+        return None
+
+
+#: Process-wide default registry used by the library's instrumentation
+#: — a view over :data:`repro.obs.metrics.REGISTRY`.
+REGISTRY = PerfRegistry(metrics=_metrics.REGISTRY)
 
 
 def current() -> PerfRegistry:
     """The registry instrumentation records into right now.
 
     :data:`REGISTRY` unless the calling thread is inside
-    :func:`isolated`, in which case the innermost isolated registry.
+    :func:`isolated` (or :func:`repro.obs.metrics.isolated`), in which
+    case the view over the innermost isolated metrics registry.
     """
-    stack = getattr(_isolation, "stack", None)
-    return stack[-1] if stack else REGISTRY
+    metrics = _metrics.current()
+    view = getattr(metrics, "_perf_view", None)
+    if view is None:
+        view = PerfRegistry(metrics=metrics)
+    return view
 
 
-@contextmanager
+class _IsolatedPerf:
+    """``isolated()`` context: enters the metrics-level isolation."""
+
+    def __init__(self, registry: PerfRegistry | None):
+        self._registry = registry if registry is not None else PerfRegistry()
+        self._inner = _metrics.isolated(self._registry.metrics)
+
+    def __enter__(self) -> PerfRegistry:
+        self._inner.__enter__()
+        return self._registry
+
+    def __exit__(self, *exc: Any) -> Any:
+        return self._inner.__exit__(*exc)
+
+
 def isolated(registry: PerfRegistry | None = None) -> Iterator[PerfRegistry]:
     """Route this thread's instrumentation into a fresh registry.
 
     Yields the registry so the caller can :meth:`~PerfRegistry.collect`
     its report afterwards; on exit the previous registry is restored
-    untouched.  Nests, and is independent per thread.
+    untouched.  Nests, and is independent per thread.  Delegates to
+    :func:`repro.obs.metrics.isolated`, so perf timers and
+    :mod:`repro.obs` metrics recorded in the same block land in the
+    same isolated registry.
 
     >>> with isolated() as reg:
     ...     record("isolated.work", 0.5)
@@ -187,15 +228,7 @@ def isolated(registry: PerfRegistry | None = None) -> Iterator[PerfRegistry]:
     >>> timer_stat("isolated.work") is None  # the default registry
     True
     """
-    reg = registry if registry is not None else PerfRegistry()
-    stack = getattr(_isolation, "stack", None)
-    if stack is None:
-        stack = _isolation.stack = []
-    stack.append(reg)
-    try:
-        yield reg
-    finally:
-        stack.pop()
+    return _IsolatedPerf(registry)
 
 
 def timer(name: str, **meta: Any):

@@ -31,6 +31,7 @@ from repro.faults.spec import FaultPlan
 from repro.net.demands import Demand
 from repro.net.srlg import SrlgMap, degrade_cable, fail_cable
 from repro.net.topology import Topology
+from repro.obs import trace as _trace
 from repro.te.incremental import batch_throughput
 from repro.te.lp import MultiCommodityLp
 from repro.te.solution import TeSolution, empty_solution
@@ -195,5 +196,9 @@ def cable_event_impacts(
             list(cables if cables is not None else srlgs.cables()),
         )
     )
-    engine.run()
+    _trace.observe_engine(engine)
+    with _trace.span("sim.network_availability") as sp:
+        engine.run()
+        if sp is not None:
+            sp.set(n_cables=len(impacts))
     return NetworkAvailabilityReport(impacts=tuple(impacts))

@@ -44,6 +44,7 @@ from repro.engine import (
 from repro.faults.inject import FaultInjector, as_injector
 from repro.faults.spec import FaultPlan
 from repro.net.demands import Demand
+from repro.obs import trace as _trace
 from repro.telemetry.traces import SnrTrace
 
 _MODES = ("scheduled", "reactive", "proactive")
@@ -243,5 +244,9 @@ def reactive_replay(
     )
     engine.subscribe(TelemetrySource.KIND, scenario.on_sample)
     engine.add_source(TelemetrySource(feed))
-    engine.run()
+    _trace.observe_engine(engine)
+    with _trace.span(
+        "sim.reactive", mode=mode, n_links=len(traces_by_link)
+    ):
+        engine.run()
     return scenario.result()

@@ -26,6 +26,7 @@ from repro.engine import Engine, ScheduledRounds, SimClock, TelemetryFeed
 from repro.faults.inject import FaultInjector, as_injector
 from repro.faults.spec import FaultPlan
 from repro.net.demands import Demand
+from repro.obs import trace as _trace
 from repro.telemetry.traces import SnrTrace
 
 
@@ -117,7 +118,13 @@ def replay_controller(
         ),
     )
     engine.add_source(rounds)
-    engine.run()
+    _trace.observe_engine(engine)
+    with _trace.span(
+        "sim.replay", n_links=len(traces_by_link), te_interval_s=te_interval_s
+    ) as sp:
+        engine.run()
+        if sp is not None:
+            sp.set(n_rounds=len(reports))
 
     return ReplayResult(
         times_s=np.asarray(times),

@@ -32,6 +32,7 @@ from repro.engine import Engine, Event, TicketOutageSource
 from repro.net.srlg import SrlgMap, degrade_cable, fail_cable
 from repro.net.topology import Topology
 from repro.net.demands import Demand
+from repro.obs import trace as _trace
 from repro.te.incremental import batch_throughput
 from repro.tickets.model import Ticket
 
@@ -162,7 +163,9 @@ def replay_tickets(
 
     engine.subscribe(TicketOutageSource.KIND, on_outage)
     engine.add_source(TicketOutageSource(tickets))
-    engine.run()
+    _trace.observe_engine(engine)
+    with _trace.span("sim.whatif", n_tickets=len(tickets)):
+        engine.run()
     return WhatIfReport(
         verdicts=tuple(verdicts[i] for i in range(len(tickets)))
     )

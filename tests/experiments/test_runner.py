@@ -105,3 +105,68 @@ class TestRunSweep:
     def test_resume_missing_dir_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             resume_sweep(tmp_path / "ghost")
+
+
+def controller_sweep():
+    # reactive points exercise the instrumented controller hot path, so
+    # each artifact carries non-trivial counters/histograms to merge
+    return Sweep.create(
+        "r", "reactive", params={"days": 0.5}, axes={"seed": [3, 4]}
+    )
+
+
+class TestSweepObservability:
+    def test_fleet_metrics_merged_from_artifacts(self, tmp_path):
+        report = run_sweep(controller_sweep(), tmp_path / "run", workers=1)
+        assert report.metrics is not None
+        counters = report.metrics.counters()
+        assert counters["controller.rounds"] > 0
+        # per-point values summed over both seeds
+        store = RunStore(tmp_path / "run")
+        per_point = [
+            a["metrics"] for a in store.artifacts() if a.get("metrics")
+        ]
+        assert len(per_point) == 2
+
+    def test_merged_counters_worker_count_invariant(self, tmp_path):
+        serial = run_sweep(controller_sweep(), tmp_path / "a", workers=1)
+        sharded = run_sweep(controller_sweep(), tmp_path / "b", workers=2)
+        assert serial.metrics is not None and sharded.metrics is not None
+        assert serial.metrics.counters() == sharded.metrics.counters()
+        a = serial.metrics.histograms()["controller.reconfig_downtime_s"]
+        b = sharded.metrics.histograms()["controller.reconfig_downtime_s"]
+        assert (a.counts, a.inf_count, a.n) == (b.counts, b.inf_count, b.n)
+
+    def test_fleet_metrics_cover_reused_points_on_resume(self, tmp_path):
+        full = run_sweep(controller_sweep(), tmp_path / "a", workers=1)
+        run_sweep(controller_sweep(), tmp_path / "b", workers=1, max_runs=1)
+        resumed = resume_sweep(tmp_path / "b", workers=1)
+        assert resumed.n_reused == 1 and resumed.n_fresh == 1
+        # the merged view reads the store, so the reused point counts too
+        assert resumed.metrics.counters() == full.metrics.counters()
+
+    def test_traced_sweep_writes_obs_artifacts(self, tmp_path):
+        report = run_sweep(
+            quick_sweep(), tmp_path / "run", workers=1, trace=True
+        )
+        store = RunStore(tmp_path / "run")
+        refs = [e.get("obs") for e in store.manifest()]
+        assert all(refs) and len(refs) == report.n_fresh == 2
+        for ref in refs:
+            point_dir = store.run_dir / ref
+            assert (point_dir / "trace.json").is_file()
+            assert (point_dir / "span_tree.json").is_file()
+            assert (point_dir / "events.jsonl").is_file()
+
+    def test_untraced_sweep_writes_no_obs_dir(self, tmp_path):
+        run_sweep(quick_sweep(), tmp_path / "run", workers=1)
+        assert not (tmp_path / "run" / "obs").exists()
+
+    def test_traced_point_records_sweep_span(self, tmp_path):
+        import json
+
+        run_sweep(quick_sweep(), tmp_path / "run", workers=1, trace=True)
+        store = RunStore(tmp_path / "run")
+        ref = store.manifest()[0]["obs"]
+        tree = json.loads((store.run_dir / ref / "span_tree.json").read_text())
+        assert tree[0]["name"] == "sweep.point"

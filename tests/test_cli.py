@@ -158,3 +158,62 @@ class TestSweepCommands:
     def test_compare_unknown_run_exits_nonzero(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["sweep", "compare", "ghost"])
+
+    def test_progress_streams_to_stderr(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        assert main(["sweep", "run", str(spec)]) == 0
+        captured = capsys.readouterr()
+        assert "[1/2]" in captured.err
+        assert "[2/2]" in captured.err
+        assert "[1/2]" not in captured.out  # progress is stderr-only
+
+    def test_quiet_suppresses_progress(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        assert main(["sweep", "run", str(spec), "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert "[1/2]" not in captured.err
+        assert "2 fresh" in captured.out  # the final report still prints
+
+    def test_resume_progress_and_quiet(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        out_dir = str(tmp_path / "run")
+        main(["sweep", "run", str(spec), "--out", out_dir, "--quiet"])
+        capsys.readouterr()
+        assert main(["sweep", "resume", out_dir]) == 0
+        assert "reused" in capsys.readouterr().err
+
+
+class TestTraceFlag:
+    def test_trace_writes_artifact_set(self, tmp_path, capsys):
+        out = tmp_path / "obs"
+        assert main(["--trace", str(out), "testbed", "--changes", "5"]) == 0
+        captured = capsys.readouterr()
+        assert (out / "trace.json").is_file()
+        assert (out / "span_tree.json").is_file()
+        assert (out / "events.jsonl").is_file()
+        assert "repro.obs run summary" in captured.err
+        assert "wrote" in captured.err
+
+    def test_trace_env_var(self, tmp_path, monkeypatch, capsys):
+        out = tmp_path / "obs"
+        monkeypatch.setenv("REPRO_TRACE", str(out))
+        assert main(["theorem", "--nodes", "5", "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert (out / "span_tree.json").is_file()
+
+    def test_trace_flag_after_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "obs"
+        assert main(["testbed", "--changes", "5", "--trace", str(out)]) == 0
+        capsys.readouterr()
+        assert (out / "trace.json").is_file()
+
+    def test_untraced_run_writes_nothing(self, tmp_path, capsys):
+        assert main(["theorem", "--nodes", "5", "--seed", "3"]) == 0
+        assert "run summary" not in capsys.readouterr().err
+
+    def test_traced_results_match_untraced(self, tmp_path, capsys):
+        assert main(["theorem", "--nodes", "5", "--seed", "3"]) == 0
+        untraced = capsys.readouterr().out
+        assert main(["--trace", str(tmp_path / "obs"), "theorem",
+                     "--nodes", "5", "--seed", "3"]) == 0
+        assert capsys.readouterr().out == untraced
