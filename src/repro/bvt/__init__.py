@@ -5,7 +5,8 @@ transceiver, drives modulation changes over its MDIO management
 interface, and measures how long a capacity change takes.  This package
 is a discrete-event model of that hardware:
 
-* a simulated clock (:mod:`~repro.bvt.clock`),
+* a simulated clock (:class:`~repro.engine.clock.SimClock`, shared
+  with the event engine),
 * a laser with power-cycle timing (:mod:`~repro.bvt.laser`),
 * a coherent DSP with full-reprogram and in-service reconfiguration
   paths (:mod:`~repro.bvt.dsp`),
@@ -20,7 +21,7 @@ power-cycles the laser and costs ~68 s of downtime on average, while an
 "efficient" change that keeps the laser lit costs ~35 ms.
 """
 
-from repro.bvt.clock import SimClock
+from repro.engine.clock import SimClock
 from repro.bvt.laser import LaserModel, LaserState, LaserTimings
 from repro.bvt.dsp import DspModel, DspTimings
 from repro.bvt.mdio import MdioInterface, Register

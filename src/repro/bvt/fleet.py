@@ -15,7 +15,7 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.bvt.clock import SimClock
+from repro.engine.clock import SimClock
 from repro.bvt.transceiver import Bvt, ChangeProcedure
 from repro.core.scheduler import ReconfigurationSchedule
 from repro.optics.modulation import DEFAULT_MODULATIONS, ModulationTable

@@ -19,7 +19,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.bvt.clock import SimClock
+from repro.engine.clock import SimClock
 from repro.bvt.dsp import DspModel, DspTimings
 from repro.bvt.laser import LaserModel, LaserTimings
 from repro.optics.modulation import (

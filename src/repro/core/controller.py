@@ -36,8 +36,9 @@ bound, the loop's arithmetic is bit-identical to the unhardened one
 from __future__ import annotations
 
 import math
+from collections import abc
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -57,6 +58,7 @@ from repro.optics.modulation import (
     ModulationTable,
 )
 from repro.seeds import component_rng
+from repro.state import NetworkState, StateStore
 from repro.te.incremental import CachedTeAlgorithm, te_cache_enabled
 from repro.te.lp import MultiCommodityLp
 from repro.te.solution import TeSolution, TeSolverError, empty_solution
@@ -181,6 +183,50 @@ class ControllerReport:
         )
 
 
+class _CapacityView(abc.Mapping):
+    """Read-only ``{link_id: capacity_gbps}`` over the controller's state.
+
+    The controller's authoritative record now lives in a
+    :class:`~repro.state.NetworkState` lineage; this view keeps the
+    long-standing ``controller.capacity`` mapping interface (lookups,
+    ``.get``, iteration, ``==`` against dicts) working on top of it
+    without a second copy to drift.
+    """
+
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller: "DynamicCapacityController"):
+        self._controller = controller
+
+    def __getitem__(self, link_id: str) -> float:
+        return self._controller.state.link(link_id).capacity_gbps
+
+    def get(self, link_id: str, default: Any = None) -> Any:
+        # overridden (Mapping's mixin goes through __getitem__ +
+        # KeyError) because sim hot paths call this per sample
+        link = self._controller.state.links.get(link_id)
+        return default if link is None else link.capacity_gbps
+
+    def __contains__(self, link_id: object) -> bool:
+        return link_id in self._controller.state.links
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._controller.state.links)
+
+    def __len__(self) -> int:
+        return len(self._controller.state.links)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, abc.Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"_CapacityView({dict(self)!r})"
+
+
 class DynamicCapacityController:
     """Stateful controller over one physical topology."""
 
@@ -270,18 +316,29 @@ class DynamicCapacityController:
         #: retries cannot shift the hardware-model draws
         self._backoff_rng = component_rng(seed, "controller.backoff")
         self._faults: Any | None = None
-        self.capacity: dict[str, float] = {
-            l.link_id: l.capacity_gbps for l in topology.real_links()
-        }
-        #: as-provisioned capacities, used when restoring failed links
-        #: under a no-upgrades policy
-        self._configured = dict(self.capacity)
+        #: the authoritative network record: per-link capacity,
+        #: configured rate, telemetry health and BVT status, evolved
+        #: through versioned copy-on-write transitions each round
+        self.state_store = StateStore(
+            NetworkState.from_topology(topology),
+            name=f"controller:{topology.name}",
+        )
+        #: read-only mapping view over the state (the old public dict)
+        self.capacity: Mapping[str, float] = _CapacityView(self)
         self._bvts: dict[str, Bvt] = {}
         self._traffic: dict[str, float] = {}
-        self._last_good_snr: dict[str, float] = {}
-        self._stale_rounds: dict[str, int] = {}
         self._last_solution: TeSolution | None = None
         self.total_downtime_s = 0.0
+
+    @property
+    def state(self) -> NetworkState:
+        """The latest committed :class:`~repro.state.NetworkState`."""
+        return self.state_store.latest
+
+    def _commit(self, updates: Mapping[str, Mapping[str, Any]], label: str) -> None:
+        """Publish one batch of per-link changes as a state transition."""
+        if updates:
+            self.state_store.commit(self.state.evolve(updates, label=label))
 
     # -- TE solve cache -------------------------------------------------------
 
@@ -315,9 +372,15 @@ class DynamicCapacityController:
 
         Call before the first :meth:`step`; BVTs created afterwards get
         their fault hook automatically, and any already-created BVT is
-        re-armed here.
+        re-armed here.  An injector that understands state lineages
+        (``attach_state``) is seeded with the controller's current
+        snapshot so it can evolve observed-vs-truth lineages from a
+        shared ancestor.
         """
         self._faults = injector
+        attach = getattr(injector, "attach_state", None)
+        if attach is not None:
+            attach(self.state)
         for link_id, bvt in self._bvts.items():
             bvt.fault_hook = self._bvt_fault_hook(link_id)
 
@@ -331,10 +394,11 @@ class DynamicCapacityController:
 
     def _bvt(self, link_id: str) -> Bvt:
         if link_id not in self._bvts:
-            initial = self.capacity[link_id]
+            link = self.state.link(link_id)
+            initial = link.capacity_gbps
             if initial <= 0:
                 # link is dark; model the transceiver at its provisioned rate
-                initial = self._configured[link_id]
+                initial = link.configured_gbps
             if initial not in self.table.capacities_gbps:
                 raise ValueError(
                     f"link {link_id} configured at {initial} Gbps, which is "
@@ -344,6 +408,11 @@ class DynamicCapacityController:
             bvt.fault_hook = self._bvt_fault_hook(link_id)
             self._bvts[link_id] = bvt
         return self._bvts[link_id]
+
+    def _bvt_status(self, link_id: str) -> dict[str, Any]:
+        """The link's BVT status fields after a successful reconfigure."""
+        bvt = self._bvts[link_id]
+        return {"bvt_gbps": bvt.capacity_gbps, "modulation": bvt.format.name}
 
     def _reconfigure(self, link_id: str, capacity_gbps: float) -> _ReconfigOutcome:
         """Drive the link's BVT to ``capacity_gbps``, retrying failures.
@@ -533,34 +602,51 @@ class DynamicCapacityController:
         # link's last good reading for up to ``stale_hold_rounds``
         # rounds (hold-last-safe), then by the safe-floor fallback
         # threshold; a dark link never restores on a stale reading.
+        # The screened readings become one batched "telemetry" state
+        # transition (per-link decisions are independent, so batching
+        # cannot change any of them).
         effective: dict[str, float] = {}
         stale: list[str] = []
+        telemetry: dict[str, dict[str, Any]] = {}
+        state = self.state
         for link_id, snr in snr_by_link.items():
-            if link_id not in self.capacity:
+            link = state.links.get(link_id)
+            if link is None:
                 raise KeyError(f"unknown link {link_id!r}")
             if math.isnan(snr):
                 stale.append(link_id)
-                age = self._stale_rounds.get(link_id, 0) + 1
-                self._stale_rounds[link_id] = age
-                if self.capacity[link_id] <= 0:
+                age = link.stale_rounds + 1
+                telemetry[link_id] = {"snr_db": snr, "stale_rounds": age}
+                if link.capacity_gbps <= 0:
                     effective[link_id] = LOSS_OF_LIGHT_SNR_DB
-                elif age <= self.stale_hold_rounds and link_id in self._last_good_snr:
-                    effective[link_id] = self._last_good_snr[link_id]
+                elif age <= self.stale_hold_rounds and link.last_good_snr_db is not None:
+                    effective[link_id] = link.last_good_snr_db
                 else:
                     effective[link_id] = self.table.required_snr(
                         self.stale_fallback_gbps
                     )
             else:
-                self._stale_rounds[link_id] = 0
-                self._last_good_snr[link_id] = snr
+                telemetry[link_id] = {
+                    "snr_db": snr,
+                    "last_good_snr_db": snr,
+                    "stale_rounds": 0,
+                }
                 effective[link_id] = snr
         stale_set = frozenset(stale)
+        self._commit(telemetry, "telemetry")
 
         # 1-2. forced downgrades / failures, and restoration of links
-        # whose light came back
+        # whose light came back.  Every link is visited at most once
+        # and no decision reads another link's new capacity, so the
+        # writes batch into one "adapt" transition committed after the
+        # loop; reads go against the post-telemetry snapshot — the
+        # same values the sequential writes exposed.
+        state = self.state
+        adapt: dict[str, dict[str, Any]] = {}
         for link_id, snr in effective.items():
-            current = self.capacity[link_id]
-            configured = self._configured[link_id]
+            link = state.links[link_id]
+            current = link.capacity_gbps
+            configured = link.configured_gbps
             if current <= 0:
                 # the link is down; bring it back at a safe rate if the
                 # signal recovered (no downtime: it was dark anyway)
@@ -575,7 +661,10 @@ class DynamicCapacityController:
                     n_retries += outcome.retries
                     backoff_s += outcome.backoff_s
                     if outcome.ok:
-                        self.capacity[link_id] = restore
+                        adapt[link_id] = {
+                            "capacity_gbps": restore,
+                            **self._bvt_status(link_id),
+                        }
                         restored.append(link_id)
                     else:
                         reconfig_failed.append(link_id)
@@ -592,7 +681,10 @@ class DynamicCapacityController:
                     if outcome.ok:
                         downtime += outcome.downtime_s
                         downgrades.append(LinkDowngrade(link_id, current, target))
-                        self.capacity[link_id] = target
+                        adapt[link_id] = {
+                            "capacity_gbps": target,
+                            **self._bvt_status(link_id),
+                        }
                     else:
                         # the BVT will not re-modulate and the current
                         # rate is SNR-infeasible: take the link dark
@@ -601,11 +693,11 @@ class DynamicCapacityController:
                         failed.append(link_id)
                         reconfig_failed.append(link_id)
                         fault_loss += target
-                        self.capacity[link_id] = 0.0
+                        adapt[link_id] = {"capacity_gbps": 0.0}
                 else:
                     downgrades.append(LinkDowngrade(link_id, current, target))
                     failed.append(link_id)
-                    self.capacity[link_id] = target
+                    adapt[link_id] = {"capacity_gbps": target}
             elif current < configured:
                 # a previously-flapped link: recovery to the provisioned
                 # rate is an operator invariant, not a TE decision (going
@@ -622,11 +714,15 @@ class DynamicCapacityController:
                     backoff_s += outcome.backoff_s
                     if outcome.ok:
                         downtime += outcome.downtime_s
-                        self.capacity[link_id] = restore
+                        adapt[link_id] = {
+                            "capacity_gbps": restore,
+                            **self._bvt_status(link_id),
+                        }
                         restored.append(link_id)
                     else:
                         reconfig_failed.append(link_id)
                         fault_loss += restore - current
+        self._commit(adapt, "adapt")
 
         # 3. working topology at post-downgrade capacities, with headroom
         working = Topology(f"{self.physical.name}@step")
@@ -711,6 +807,11 @@ class DynamicCapacityController:
             else:
                 n_batches = 1 if upgrades else 0
                 ordered_upgrades = list(upgrades)
+            # one upgrade per link, so these writes batch into one
+            # "upgrades" transition; the held-rate read on a refused
+            # upgrade sees the post-adapt snapshot, which no upgrade
+            # before it in the batch can have touched
+            executed: dict[str, dict[str, Any]] = {}
             for upgrade in ordered_upgrades:
                 outcome = self._reconfigure(
                     upgrade.link_id, upgrade.new_capacity_gbps
@@ -719,13 +820,17 @@ class DynamicCapacityController:
                 backoff_s += outcome.backoff_s
                 if outcome.ok:
                     downtime += outcome.downtime_s
-                    self.capacity[upgrade.link_id] = upgrade.new_capacity_gbps
+                    executed[upgrade.link_id] = {
+                        "capacity_gbps": upgrade.new_capacity_gbps,
+                        **self._bvt_status(upgrade.link_id),
+                    }
                 else:
                     # upgrade refused: hold the current (safe) rate
                     reconfig_failed.append(upgrade.link_id)
                     fault_loss += (
                         upgrade.new_capacity_gbps - self.capacity[upgrade.link_id]
                     )
+            self._commit(executed, "upgrades")
 
             # 7. remember traffic for the next round's penalty computation
             self._traffic = {

@@ -149,6 +149,16 @@ _ENGINE_MODULES = (
     "repro.engine.sources",
 )
 
+#: the immutable network-state layer every stateful scenario now flows
+#: through (controller transitions, scenario forks, TE cache keys); a
+#: change to the snapshot/diff semantics invalidates those artifacts
+_STATE_MODULES = (
+    "repro.state.delta",
+    "repro.state.digest",
+    "repro.state.model",
+    "repro.state.store",
+)
+
 
 def _run_study(
     ctx: ExecutionContext, *, cables: int, years: float, seed: int
@@ -256,7 +266,6 @@ register(
             "repro.bvt.transceiver",
             "repro.bvt.laser",
             "repro.bvt.dsp",
-            "repro.bvt.clock",
             "repro.optics.constellation",
             "repro.optics.modulation",
         ),
@@ -578,6 +587,7 @@ register(
         ),
         modules=_BASE_MODULES
         + _ENGINE_MODULES
+        + _STATE_MODULES
         + (
             "repro.net.demands",
             "repro.net.srlg",
@@ -742,6 +752,7 @@ register(
         ),
         modules=_BASE_MODULES
         + _ENGINE_MODULES
+        + _STATE_MODULES
         + (
             "repro.bvt.transceiver",
             "repro.core.controller",
@@ -783,6 +794,7 @@ register(
         ),
         modules=_BASE_MODULES
         + _ENGINE_MODULES
+        + _STATE_MODULES
         + (
             "repro.core.controller",
             "repro.core.policies",

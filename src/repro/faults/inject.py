@@ -36,6 +36,7 @@ from repro.faults.spec import FaultPlan, FaultSpec
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.seeds import component_rng, component_seed
+from repro.state import NetworkState, StateStore
 
 
 def as_injector(faults: "FaultPlan | FaultInjector | None") -> "FaultInjector | None":
@@ -67,6 +68,11 @@ class FaultInjector:
         self.counts: dict[str, int] = {}
         self._bvt_rngs: dict[str, np.random.Generator] = {}
         self._te_rng = component_rng(plan.seed, "faults.te")
+        #: what the controller *sees* vs what the network *is*: two
+        #: state lineages from a shared ancestor (None until a state
+        #: holder calls :meth:`attach_state`)
+        self.observed_states: StateStore | None = None
+        self.truth_states: StateStore | None = None
 
     def count(self, kind: str, n: int = 1) -> None:
         self.counts[kind] = self.counts.get(kind, 0) + n
@@ -74,6 +80,54 @@ class FaultInjector:
         # when a tracer is active, a point event on the run timeline
         _metrics.counter("faults.activated", kind=kind).inc(n)
         _trace.point("fault.activated", kind=kind, n=n)
+
+    # -- state lineages -----------------------------------------------------
+
+    def attach_state(self, base: NetworkState) -> None:
+        """Root the observed/truth lineages at a shared ancestor.
+
+        The controller calls this from ``bind_faults`` with its current
+        snapshot.  From then on every telemetry sample whose faulted
+        view diverges from the true SNR is published as one transition
+        on *each* lineage — same version, different ``snr_db`` values —
+        so the per-version diff between the two stores is exactly the
+        corruption this plan introduced, and :meth:`ground_truth`
+        becomes literally a parallel state lineage.
+        """
+        self.observed_states = StateStore(base, name="observed")
+        self.truth_states = StateStore(base, name="truth")
+
+    def record_sample(
+        self,
+        index: int,
+        truth: Mapping[str, float],
+        observed: Mapping[str, float],
+    ) -> None:
+        """Publish one diverged sample onto both lineages (no-op when
+        no state is attached or the sample is clean)."""
+        if self.observed_states is None or self.truth_states is None:
+            return
+        known = self.observed_states.latest.links
+        diverged = [
+            link_id
+            for link_id, seen in observed.items()
+            if link_id in known
+            and not (seen == truth[link_id]
+                     or (seen != seen and truth[link_id] != truth[link_id]))
+        ]
+        if not diverged:
+            return
+        label = f"sample:{index}"
+        self.observed_states.commit(
+            self.observed_states.latest.evolve(
+                {l: {"snr_db": observed[l]} for l in diverged}, label=label
+            )
+        )
+        self.truth_states.commit(
+            self.truth_states.latest.evolve(
+                {l: {"snr_db": truth[l]} for l in diverged}, label=label
+            )
+        )
 
     # -- telemetry seam -----------------------------------------------------
 
@@ -266,13 +320,15 @@ class FaultyTelemetryFeed(TelemetryFeed):
         return value
 
     def _transform(self, sample: TelemetrySample) -> TelemetrySample:
+        observed = {
+            link_id: self._faulted_value(link_id, sample.index, sample.time_s)
+            for link_id in sample.snr_db
+        }
+        self.injector.record_sample(sample.index, sample.snr_db, observed)
         return TelemetrySample(
             index=sample.index,
             time_s=sample.time_s,
-            snr_db={
-                link_id: self._faulted_value(link_id, sample.index, sample.time_s)
-                for link_id in sample.snr_db
-            },
+            snr_db=observed,
         )
 
     def sample(self, index: int) -> TelemetrySample:

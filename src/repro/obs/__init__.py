@@ -33,6 +33,7 @@ from .export import (
     prometheus_text,
     run_summary,
     span_tree_json,
+    state_timeline_jsonl,
     strip_wall,
 )
 from .metrics import (
@@ -67,6 +68,7 @@ __all__ = [
     "run_summary",
     "span",
     "span_tree_json",
+    "state_timeline_jsonl",
     "strip_wall",
     "timestamp_unix",
     "trace",

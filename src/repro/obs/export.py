@@ -148,6 +148,27 @@ def span_tree_json(tracer: Tracer) -> str:
     return json.dumps(tracer.span_tree(), sort_keys=True, indent=1) + "\n"
 
 
+def state_timeline_jsonl(tracer: Tracer) -> str:
+    """One JSON line per ``state.transition`` point event, in seq order.
+
+    Every :class:`~repro.state.StateStore` commit publishes one such
+    event (store name, version chain, label, per-kind delta counts), so
+    a traced run's network-state evolution — controller transitions
+    plus any fault-injection observed/truth lineages — lands in one
+    grep-friendly file.  Sim-time only: byte-stable for a fixed seed.
+    """
+    rows = [
+        {
+            "seq": e.seq,
+            "sim_time_s": e.sim_time_s,
+            **e.attrs,
+        }
+        for e in tracer.events
+        if e.name == "state.transition"
+    ]
+    return "".join(json.dumps(row, sort_keys=True) + "\n" for row in rows)
+
+
 # ---------------------------------------------------------------------------
 # Prometheus textfile exposition
 # ---------------------------------------------------------------------------
@@ -242,6 +263,28 @@ def run_summary(
             f"{len(tracer.events)} point events"
             + (f", sim horizon {max(sim_ends):.3f}s" if sim_ends else "")
         )
+        engines = getattr(tracer, "engines", [])
+        if engines:
+            n_events = sum(e.stats.n_events for e in engines)
+            n_observer_errors = sum(e.stats.n_observer_errors for e in engines)
+            by_kind: dict[str, int] = {}
+            for e in engines:
+                for kind, n in e.stats.by_kind.items():
+                    by_kind[kind] = by_kind.get(kind, 0) + n
+            kinds = ", ".join(
+                f"{kind}={n}"
+                for kind, n in sorted(by_kind.items(), key=lambda kv: -kv[1])[:4]
+            )
+            lines.append(
+                f"engine: {len(engines)} engine(s), {n_events} events"
+                + (f" ({kinds})" if kinds else "")
+                + f", {n_observer_errors} observer errors"
+            )
+        n_transitions = sum(
+            1 for e in tracer.events if e.name == "state.transition"
+        )
+        if n_transitions:
+            lines.append(f"state: {n_transitions} transitions")
         by_name: dict[str, tuple[int, float]] = {}
         for s in tracer.spans:
             n, tot = by_name.get(s.name, (0, 0.0))
@@ -299,6 +342,11 @@ def export_run(
         events_path = out / "events.jsonl"
         events_path.write_text(events_jsonl(tracer))
         written["events"] = events_path
+        timeline = state_timeline_jsonl(tracer)
+        if timeline:
+            timeline_path = out / "state_timeline.jsonl"
+            timeline_path.write_text(timeline)
+            written["state_timeline"] = timeline_path
     if registry is not None and not registry.empty:
         prom_path = out / "metrics.prom"
         prom_path.write_text(prometheus_text(registry))

@@ -98,6 +98,9 @@ class Tracer:
         self._clock = clock
         self.spans: list[Span] = []
         self.events: list[PointEvent] = []
+        #: engines this tracer observes (their ``stats`` feed the run
+        #: summary's engine line — event counts, observer errors)
+        self.engines: list[Any] = []
         self._stack: list[Span] = []
         self._next_seq = 0
         #: wall epoch all wall timestamps are reported relative to
@@ -171,6 +174,7 @@ class Tracer:
         """
         if self._clock is None:
             self.bind_clock(engine.clock)
+        self.engines.append(engine)
         engine.add_observer(self._on_engine_event)
 
     def _on_engine_event(self, event: Any) -> None:

@@ -29,9 +29,10 @@ from repro.engine import Engine, Event, SequenceSource
 from repro.faults.inject import FaultInjector, as_injector
 from repro.faults.spec import FaultPlan
 from repro.net.demands import Demand
-from repro.net.srlg import SrlgMap, degrade_cable, fail_cable
+from repro.net.srlg import SrlgMap
 from repro.net.topology import Topology
 from repro.obs import trace as _trace
+from repro.state import NetworkState
 from repro.te.incremental import batch_throughput
 from repro.te.lp import MultiCommodityLp
 from repro.te.solution import TeSolution, empty_solution
@@ -133,6 +134,19 @@ def cable_event_impacts(
     injector = as_injector(faults)
     drill_cables = list(cables if cables is not None else srlgs.cables())
 
+    # every scenario — batched or lazy — is a copy-on-write fork of one
+    # base snapshot; materialization preserves the link order the old
+    # per-scenario topology surgery produced
+    base = NetworkState.from_topology(topology, label="availability.base")
+
+    def fork(cable: str, binary: bool) -> NetworkState:
+        links = sorted(srlgs.links_of(cable))
+        if binary:
+            return base.darken(links, label=f"fail:{cable}")
+        return base.flap(
+            links, fallback_capacity_gbps, label=f"degrade:{cable}"
+        )
+
     scenario_values: dict[tuple[str, bool], float] = {}
     if injector is None:
         # fault-free runs batch-solve the whole matrix up front (the
@@ -140,13 +154,8 @@ def cable_event_impacts(
         # the flap scenarios RHS-only re-solves of the baseline LP
         algo = None if te_algorithm is _lp_max_throughput else te_algorithm
         keys = [(cable, binary) for cable in drill_cables for binary in (True, False)]
-        scenarios = [topology] + [
-            fail_cable(topology, srlgs, cable)
-            if binary
-            else degrade_cable(
-                topology, srlgs, cable, capacity_gbps=fallback_capacity_gbps
-            )
-            for cable, binary in keys
+        scenarios: list[NetworkState] = [base] + [
+            fork(cable, binary) for cable, binary in keys
         ]
         values = batch_throughput(
             scenarios,
@@ -174,9 +183,11 @@ def cable_event_impacts(
             binary_gbps = scenario_values[(cable, True)]
             dynamic_gbps = scenario_values[(cable, False)]
         else:
-            failed = fail_cable(topology, srlgs, cable)
-            flapped = degrade_cable(
-                topology, srlgs, cable, capacity_gbps=fallback_capacity_gbps
+            failed = fork(cable, True).to_topology(
+                f"{topology.name}-minus-{cable}"
+            )
+            flapped = fork(cable, False).to_topology(
+                f"{topology.name}-degraded-{cable}"
             )
             binary_gbps = scenario_te(failed)
             dynamic_gbps = scenario_te(flapped)

@@ -29,10 +29,11 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.engine import Engine, Event, TicketOutageSource
-from repro.net.srlg import SrlgMap, degrade_cable, fail_cable
+from repro.net.srlg import SrlgMap
 from repro.net.topology import Topology
 from repro.net.demands import Demand
 from repro.obs import trace as _trace
+from repro.state import NetworkState
 from repro.te.incremental import batch_throughput
 from repro.tickets.model import Ticket
 
@@ -126,11 +127,18 @@ def replay_tickets(
             if key not in seen:
                 seen.add(key)
                 needed.append(key)
-    scenarios = [topology] + [
-        fail_cable(topology, srlgs, cable)
+    # every scenario is a copy-on-write fork of one base snapshot; the
+    # forks materialize worker-side with the exact link ordering the
+    # old per-scenario topology surgery produced (state.to_topology
+    # uses the same copy/remove/replace primitives)
+    base = NetworkState.from_topology(topology, label="whatif.base")
+    scenarios: list[NetworkState] = [base] + [
+        base.darken(sorted(srlgs.links_of(cable)), label=f"fail:{cable}")
         if binary
-        else degrade_cable(
-            topology, srlgs, cable, capacity_gbps=fallback_capacity_gbps
+        else base.flap(
+            sorted(srlgs.links_of(cable)),
+            fallback_capacity_gbps,
+            label=f"degrade:{cable}",
         )
         for cable, binary in needed
     ]

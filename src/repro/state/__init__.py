@@ -1,0 +1,64 @@
+"""``repro.state`` — the versioned network state every layer shares.
+
+One authoritative, immutable picture of the network (topology +
+per-link capacity / modulation / health / dark flags + BVT status)
+with copy-on-write transitions, monotonic versions, typed deltas and a
+ring buffer of recent snapshots:
+
+* :class:`NetworkState` / :class:`LinkState` — the snapshot model
+  (:mod:`repro.state.model`);
+* :func:`diff` / :func:`apply_deltas` and the typed ``*Delta`` records
+  (:mod:`repro.state.delta`);
+* :class:`StateStore` — recent history, what-if forks, transition
+  trace points (:mod:`repro.state.store`);
+* :func:`structure_digest` / :func:`capacity_digest` /
+  :func:`demand_digest` — the cache-key tuples
+  (:mod:`repro.state.digest`).
+
+Layering: this package sits *below* the controller and the simulators
+and imports neither (CI enforces the boundary).
+"""
+
+from repro.state.delta import (
+    BvtDelta,
+    CapacityDelta,
+    DarkDelta,
+    HealthDelta,
+    ModulationDelta,
+    StateDelta,
+    apply_deltas,
+    delta_counts,
+    delta_payload,
+    diff,
+)
+from repro.state.digest import (
+    CapacityDigest,
+    StructureDigest,
+    capacity_digest,
+    demand_digest,
+    structure_digest,
+)
+from repro.state.model import MUTABLE_LINK_FIELDS, LinkState, NetworkState
+from repro.state.store import StateStore
+
+__all__ = [
+    "BvtDelta",
+    "CapacityDelta",
+    "CapacityDigest",
+    "DarkDelta",
+    "HealthDelta",
+    "LinkState",
+    "ModulationDelta",
+    "MUTABLE_LINK_FIELDS",
+    "NetworkState",
+    "StateDelta",
+    "StateStore",
+    "StructureDigest",
+    "apply_deltas",
+    "capacity_digest",
+    "delta_counts",
+    "delta_payload",
+    "demand_digest",
+    "diff",
+    "structure_digest",
+]

@@ -1,0 +1,57 @@
+"""Canonical digests of network structure and numbers.
+
+One authoritative definition of "what makes two networks the same",
+shared by every cache and every state object:
+
+* :func:`structure_digest` — the *shape*: node set plus link wiring in
+  insertion order (link order is the LP's variable layout, so it is
+  part of the structure).
+* :func:`capacity_digest` — the per-round *numbers*: capacities and
+  penalties in link order.  Two topologies with equal structure and
+  capacity digests assemble value-identical LPs.
+* :func:`demand_digest` — the traffic matrix, endpoint/volume/priority
+  in list order.
+
+The digests are plain tuples, not hashes: keying caches on values
+instead of hash codes makes collisions impossible and invalidation
+exact — any link appearing, disappearing or changing endpoints changes
+the structure digest; any capacity/penalty change changes the capacity
+digest.  :class:`~repro.state.model.NetworkState` exposes the same
+tuples as :attr:`~repro.state.model.NetworkState.structure_id` and
+:attr:`~repro.state.model.NetworkState.capacity_digest`, computed from
+its own link states, so a state and the topology it materializes always
+agree.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.net.demands import Demand
+from repro.net.topology import Topology
+
+#: the structure digest: (sorted node tuple, ((link_id, src, dst), ...))
+StructureDigest = tuple
+#: the numeric digest: ((capacity, ...), (penalty, ...)) in link order
+CapacityDigest = tuple
+
+
+def structure_digest(topology: Topology) -> StructureDigest:
+    """The wiring that determines an LP's shape, in insertion order."""
+    return (
+        topology.nodes,
+        tuple((l.link_id, l.src, l.dst) for l in topology.links),
+    )
+
+
+def capacity_digest(topology: Topology) -> CapacityDigest:
+    """The per-round numbers: capacities and penalties in link order."""
+    return (
+        tuple(l.capacity_gbps for l in topology.links),
+        tuple(l.penalty for l in topology.links),
+    )
+
+
+def demand_digest(demands: Sequence[Demand]) -> Hashable:
+    """The traffic matrix as a hashable tuple, in list order."""
+    return tuple((d.src, d.dst, d.volume_gbps, d.priority) for d in demands)

@@ -50,6 +50,7 @@ from repro import perf
 from repro.net.demands import Demand
 from repro.net.topology import Topology
 from repro.parallel import pool_map, resolve_workers
+from repro.state import NetworkState, capacity_digest, demand_digest, structure_digest
 from repro.te.lp import LpOutcome, MultiCommodityLp
 from repro.te.solution import TeSolution
 
@@ -89,7 +90,12 @@ def te_cache_enabled(override: bool | None = None) -> bool:
     return True
 
 
-def structure_key(topology: Topology, demands: Sequence[Demand]) -> Hashable:
+def structure_key(
+    topology: Topology,
+    demands: Sequence[Demand],
+    *,
+    state: NetworkState | None = None,
+) -> Hashable:
     """What determines the LP's *shape*: nodes, link wiring, demand list.
 
     Link order matters (it is the variable layout), so the key keeps
@@ -97,20 +103,21 @@ def structure_key(topology: Topology, demands: Sequence[Demand]) -> Hashable:
     throughput-variable bounds; two demand sets differing only in
     volume could share constraint blocks, but keeping volumes in the
     structure key makes the memo key below a pure numeric suffix.
+
+    The wiring half of the key is :attr:`NetworkState.structure_id` —
+    passing the ``state`` a topology was materialized from reuses its
+    cached digest and, by construction, produces the identical tuple.
     """
-    return (
-        topology.nodes,
-        tuple((l.link_id, l.src, l.dst) for l in topology.links),
-        tuple((d.src, d.dst, d.volume_gbps, d.priority) for d in demands),
-    )
+    wiring = structure_digest(topology) if state is None else state.structure_id
+    return wiring + (demand_digest(demands),)
 
 
-def numeric_key(topology: Topology) -> Hashable:
-    """The per-round numbers: capacities and penalties in link order."""
-    return (
-        tuple(l.capacity_gbps for l in topology.links),
-        tuple(l.penalty for l in topology.links),
-    )
+def numeric_key(
+    topology: Topology, *, state: NetworkState | None = None
+) -> Hashable:
+    """The per-round numbers (:attr:`NetworkState.capacity_digest`):
+    capacities and penalties in link order."""
+    return capacity_digest(topology) if state is None else state.capacity_digest
 
 
 @dataclass(frozen=True)
@@ -159,10 +166,16 @@ class TeSolveCache:
     # -- structure layer ---------------------------------------------------
 
     def lp(
-        self, topology: Topology, demands: Sequence[Demand]
+        self,
+        topology: Topology,
+        demands: Sequence[Demand],
+        *,
+        state: NetworkState | None = None,
     ) -> MultiCommodityLp:
         """An assembled LP for this instance, reusing cached structure."""
-        return self._lp_for(structure_key(topology, demands), topology, demands)
+        return self._lp_for(
+            structure_key(topology, demands, state=state), topology, demands
+        )
 
     def _lp_for(
         self, skey: Hashable, topology: Topology, demands: Sequence[Demand]
@@ -187,14 +200,24 @@ class TeSolveCache:
         topology: Topology,
         demands: Sequence[Demand],
         method: str = "min_penalty_at_max_throughput",
+        *,
+        state: NetworkState | None = None,
     ) -> LpOutcome:
-        """Solve (or replay) one state under the named objective."""
+        """Solve (or replay) one state under the named objective.
+
+        With ``state`` (the :class:`NetworkState` the topology was
+        materialized from, or a snapshot of it) both cache keys come
+        from the state's cached digests —
+        ``(state.structure_id, state.capacity_digest)`` — which are
+        tuple-identical to the topology-derived keys, so mixing keyed
+        styles against one cache cannot double-solve or mis-hit.
+        """
         if method not in SOLVE_METHODS:
             raise ValueError(
                 f"unknown solve method {method!r} (valid: {SOLVE_METHODS})"
             )
-        skey = structure_key(topology, demands)
-        mkey = (skey, numeric_key(topology), method)
+        skey = structure_key(topology, demands, state=state)
+        mkey = (skey, numeric_key(topology, state=state), method)
         entry = self._memo.get(mkey)
         if entry is not None:
             perf.event("te.cache.memo_hit")
@@ -259,9 +282,18 @@ class CachedTeAlgorithm:
         self.cache = cache if cache is not None else TeSolveCache()
 
     def __call__(
-        self, topology: Topology, demands: Sequence[Demand]
+        self,
+        topology: Topology,
+        demands: Sequence[Demand],
+        *,
+        state: NetworkState | None = None,
     ) -> TeSolution:
-        return self.cache.solve(topology, demands, method=self.method).solution
+        if state is None:
+            # key on a verbatim snapshot: digests computed once, cached
+            state = NetworkState.snapshot(topology, label="te.solve")
+        return self.cache.solve(
+            topology, demands, method=self.method, state=state
+        ).solution
 
 
 # -- batched what-if solves ------------------------------------------------
@@ -285,25 +317,34 @@ def worker_cache() -> TeSolveCache:
 
 def _throughput_job(
     job: tuple[
-        Topology,
+        Topology | NetworkState,
         tuple[Demand, ...],
         Callable[[Topology, Sequence[Demand]], TeSolution] | None,
         bool,
     ],
 ) -> float:
     """One scenario's total throughput (module-level: picklable)."""
-    topology, demands, te_algorithm, use_cache = job
+    scenario, demands, te_algorithm, use_cache = job
+    if isinstance(scenario, NetworkState):
+        # materialize in the worker; the state's cached digests key the
+        # worker-local cache without re-walking the topology
+        state: NetworkState | None = scenario
+        topology = scenario.to_topology()
+    else:
+        state, topology = None, scenario
     if te_algorithm is not None:
         return te_algorithm(topology, demands).total_allocated_gbps
     if use_cache:
-        outcome = worker_cache().solve(topology, demands, method="max_throughput")
+        outcome = worker_cache().solve(
+            topology, demands, method="max_throughput", state=state
+        )
     else:
         outcome = MultiCommodityLp(topology, demands).max_throughput()
     return outcome.objective_value
 
 
 def batch_throughput(
-    scenarios: Sequence[Topology],
+    scenarios: Sequence[Topology | NetworkState],
     demands: Sequence[Demand],
     *,
     te_algorithm: Callable[[Topology, Sequence[Demand]], TeSolution]
@@ -311,11 +352,15 @@ def batch_throughput(
     workers: int | None = None,
     te_cache: bool | None = None,
 ) -> list[float]:
-    """Total throughput of independent scenario topologies, in order.
+    """Total throughput of independent scenarios, in input order.
 
-    The default (``te_algorithm=None``) solves the max-throughput LP
-    through per-worker structure caches — degrade-style scenarios that
-    share wiring with an earlier scenario skip reassembly.  A custom
+    Scenarios are :class:`Topology` objects or :class:`NetworkState`
+    forks (materialized worker-side via
+    :meth:`~repro.state.NetworkState.to_topology`, which preserves
+    link order — the results are identical either way).  The default
+    (``te_algorithm=None``) solves the max-throughput LP through
+    per-worker structure caches — degrade-style scenarios that share
+    wiring with an earlier scenario skip reassembly.  A custom
     ``te_algorithm`` is called as-is (it must be picklable to benefit
     from a process pool).  Results are returned in input order and are
     identical for any worker count, including serial.

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bvt.clock import SimClock
+from repro.engine.clock import SimClock
 
 
 class TestSimClock:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.bvt.clock import SimClock
+from repro.engine.clock import SimClock
 from repro.bvt.transceiver import Bvt, BvtState, ChangeProcedure
 
 

@@ -2,7 +2,8 @@
 
 import json
 
-from repro.engine import SimClock
+from repro.engine import Engine, SequenceSource, SimClock
+from repro.net.topologies import line_topology
 from repro.obs.export import (
     SIM_PID,
     WALL_PID,
@@ -12,10 +13,12 @@ from repro.obs.export import (
     prometheus_text,
     run_summary,
     span_tree_json,
+    state_timeline_jsonl,
     strip_wall,
 )
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import Tracer
+from repro.obs.trace import Tracer, tracing
+from repro.state import NetworkState, StateStore
 
 
 def traced_run() -> Tracer:
@@ -81,6 +84,63 @@ class TestTextArtifacts:
 
     def test_run_summary_empty(self):
         assert "(empty)" in run_summary(None, None)
+
+    def test_run_summary_engine_line_counts_observer_errors(self):
+        tracer = Tracer()
+        engine = Engine()
+        engine.subscribe("tick", lambda event: None)
+        engine.add_source(SequenceSource("tick", [1, 2, 3]))
+        tracer.observe(engine)
+
+        def bad_observer(event):
+            raise RuntimeError("boom")
+
+        engine.add_observer(bad_observer)
+        engine.run()
+        text = run_summary(tracer)
+        assert "engine: 1 engine(s), 3 events" in text
+        assert "tick=3" in text
+        assert "3 observer errors" in text
+
+    def test_run_summary_counts_state_transitions(self):
+        tracer = Tracer()
+        base = NetworkState.from_topology(line_topology(3))
+        store = StateStore(base, name="ctrl")
+        with tracing(tracer):
+            store.commit(base.fork(label="round"))
+            store.commit(store.latest.fork(label="round"))
+        assert "state: 2 transitions" in run_summary(tracer)
+
+
+class TestStateTimeline:
+    def make_traced_store(self):
+        tracer = Tracer()
+        base = NetworkState.from_topology(line_topology(3))
+        store = StateStore(base, name="ctrl")
+        link_id = sorted(base.links)[0]
+        with tracing(tracer):
+            store.commit(base.darken([link_id], label="fail"))
+        return tracer
+
+    def test_one_line_per_transition(self):
+        tracer = self.make_traced_store()
+        (line,) = state_timeline_jsonl(tracer).splitlines()
+        row = json.loads(line)
+        assert row["store"] == "ctrl"
+        assert row["version"] == 1
+        assert row["parent"] == 0
+        assert row["label"] == "fail"
+        assert row["n_deltas"] == 1
+        assert row["n_dark"] == 1
+
+    def test_empty_without_transitions(self):
+        assert state_timeline_jsonl(traced_run()) == ""
+
+    def test_export_run_writes_state_timeline(self, tmp_path):
+        written = export_run(tmp_path, self.make_traced_store())
+        assert "state_timeline" in written
+        assert written["state_timeline"].name == "state_timeline.jsonl"
+        assert written["state_timeline"].read_text().count("\n") == 1
 
 
 class TestPrometheusText:

@@ -1,0 +1,30 @@
+"""Layering: repro.state sits below the controller and the simulators.
+
+The same check CI's state-goldens job runs: importing the state
+package alone must not pull in ``repro.sim`` or
+``repro.core.controller`` — state is the substrate those layers build
+on, not a peer.
+"""
+
+import subprocess
+import sys
+
+_PROBE = """
+import sys
+import repro.state
+import repro.state.delta
+import repro.state.digest
+import repro.state.model
+import repro.state.store
+bad = sorted(
+    m for m in sys.modules
+    if m.startswith("repro.sim") or m == "repro.core.controller"
+)
+assert not bad, f"repro.state imports upper layers: {bad}"
+"""
+
+
+def test_state_package_imports_no_upper_layers():
+    subprocess.run(
+        [sys.executable, "-c", _PROBE], check=True, capture_output=True
+    )
