@@ -15,7 +15,10 @@ canonical rendering — exactly what a sweep artifact would replay:
 * ``reactive``     — reaction-lag replay (scheduled/reactive/proactive);
 * ``whatif``       — ticket-corpus what-if replay (binary vs dynamic);
 * ``chaos``        — fault-injection intensity sweep asserting the
-  hardened controller's invariants (exit 1 on any violation).
+  hardened controller's invariants (exit 1 on any violation);
+  ``chaos --crash`` instead crashes the controller at every
+  (round, seam) point and asserts journal recovery is byte-identical
+  to an uninterrupted run.
 
 ``sweep`` drives grids of those experiments::
 
@@ -26,14 +29,17 @@ canonical rendering — exactly what a sweep artifact would replay:
     repro sweep compare RUN [RUN_B]              # vs paper, or run vs run
 
 Global flags (``--workers``, ``--no-cache``, ``--no-te-cache``,
-``--bench-json``, ``--trace``) are accepted both before and after the
-subcommand.  ``--workers N`` spreads work over N processes (also the
+``--bench-json``, ``--trace``, ``--journal``) are accepted both before
+and after the subcommand.  ``--workers N`` spreads work over N processes (also the
 ``REPRO_WORKERS`` env var); ``--no-cache`` bypasses the on-disk summary
 cache (``REPRO_CACHE_DIR``); ``--no-te-cache`` disables the in-memory
 incremental TE solve cache (:mod:`repro.te.incremental`; also the
 ``REPRO_TE_NO_CACHE`` env var — results are byte-identical either way);
 ``--bench-json PATH`` writes the run's timing report (:mod:`repro.perf`)
-to a machine-readable JSON file; ``--trace DIR`` (also the
+to a machine-readable JSON file; ``--journal DIR`` journals controller
+state durably under DIR (:mod:`repro.recovery`) so a crashed run
+resumes instead of restarting — results are byte-identical either way;
+``--trace DIR`` (also the
 ``REPRO_TRACE`` env var) records the run under a
 :class:`~repro.obs.Tracer` and writes ``trace.json`` /
 ``span_tree.json`` / ``events.jsonl`` / ``metrics.prom`` into DIR —
@@ -69,6 +75,7 @@ def _context(args: argparse.Namespace) -> "Any":
         workers=args.workers,
         cache=not args.no_cache,
         te_cache=False if args.no_te_cache else None,
+        journal_dir=args.journal or None,
     )
 
 
@@ -137,15 +144,62 @@ def _cmd_reactive(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_chaos_crash(args: argparse.Namespace) -> int:
+    """Crash-equivalence sweep: crash, recover, byte-diff vs reference.
+
+    Exit status 0 means every (round, seam) point's crash fault fired,
+    the resumed run produced the reference's round count, and its full
+    per-round metric arrays were byte-identical to an uninterrupted
+    run's.
+    """
+    import tempfile
+    from contextlib import ExitStack
+
+    from repro.faults.chaos import crash_verdicts, run_crash_sweep
+
+    with ExitStack() as stack:
+        journal_root = args.journal_root or stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-crash-")
+        )
+        points = run_crash_sweep(
+            args.crash_rounds,
+            args.seams,
+            journal_root=journal_root,
+            days=args.days,
+            policy=args.policy,
+            seed=args.seed,
+            te_interval_h=args.te_interval_h,
+        )
+    for point in points:
+        print(
+            f"crash round {point['crash_round']:>2} @ {point['seam']:<11}: "
+            f"crashed={point['crashed']}, "
+            f"resumed {point['n_rounds']}/{point['n_reference_rounds']} "
+            f"rounds, identical={point['byte_identical']}"
+        )
+    problems = crash_verdicts(points)
+    if problems:
+        for problem in problems:
+            print(f"CRASH EQUIVALENCE VIOLATED: {problem}")
+        return 1
+    print("all crash points recovered byte-identically")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Sweep fault intensity and assert the hardening invariants.
 
     Exit status 0 means every point's paired runs were byte-identical,
     no round violated BER feasibility, and throughput degraded
-    monotonically (within slack) with intensity.
+    monotonically (within slack) with intensity.  With ``--crash`` the
+    sweep instead crashes the controller at every (round, seam) point
+    and asserts journal recovery is byte-identical to an uninterrupted
+    run.
     """
     from repro.faults.chaos import chaos_verdicts, run_chaos_point
 
+    if args.crash:
+        return _cmd_chaos_crash(args)
     points = []
     for intensity in args.intensities:
         point = run_chaos_point(
@@ -372,6 +426,13 @@ def _global_flags(parser: argparse.ArgumentParser, *, suppress: bool) -> None:
             "(also the REPRO_TRACE env var; results are unchanged)"
         ),
     )
+    parser.add_argument(
+        "--journal", type=str, metavar="DIR", default=default(""),
+        help=(
+            "journal controller state durably under DIR (repro.recovery); "
+            "a crashed run resumes from it, results are unchanged"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -462,6 +523,23 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--te-interval-h", type=float, default=4.0)
     chaos.add_argument("--retries", type=int, default=3,
                        help="retry budget for BVT/TE failures (0 = fail fast)")
+    chaos.add_argument("--crash", action="store_true",
+                       help=(
+                           "crash-equivalence mode: crash the controller at "
+                           "every (round, seam) point, recover from the "
+                           "journal, byte-diff vs an uninterrupted run"
+                       ))
+    chaos.add_argument("--crash-rounds", type=int, nargs="+", default=[0, 2, 5],
+                       help="rounds to crash at (with --crash)")
+    chaos.add_argument("--seams", type=str, nargs="+",
+                       default=["pre-commit", "post-commit", "mid-write"],
+                       choices=["pre-commit", "post-commit", "mid-write"],
+                       help="crash seams to exercise (with --crash)")
+    chaos.add_argument("--journal-root", type=str, default="",
+                       help=(
+                           "directory for the per-point crash journals "
+                           "(default: a temporary directory)"
+                       ))
     chaos.set_defaults(handler=_cmd_chaos)
 
     whatif = sub.add_parser(

@@ -57,6 +57,8 @@ from repro.optics.modulation import (
     LOSS_OF_LIGHT_SNR_DB,
     ModulationTable,
 )
+from repro.recovery.journal import ControllerCrash, StateJournal, journal_exists, reopen
+from repro.recovery.reports import report_payload, restore_solution
 from repro.seeds import component_rng
 from repro.state import NetworkState, StateStore
 from repro.te.incremental import CachedTeAlgorithm, te_cache_enabled
@@ -329,6 +331,14 @@ class DynamicCapacityController:
         self._traffic: dict[str, float] = {}
         self._last_solution: TeSolution | None = None
         self.total_downtime_s = 0.0
+        #: durable write-ahead journal, when bound (see bind_journal)
+        self._journal: StateJournal | None = None
+        #: rounds sealed by _commit_round (the journal's round counter)
+        self.rounds_completed = 0
+        #: scenario-provided context journaled with each round frame
+        #: (sample time, round indices — whatever the host needs back
+        #: to resume); hosts assign it before calling step()
+        self._round_context: dict[str, Any] = {}
 
     @property
     def state(self) -> NetworkState:
@@ -389,6 +399,183 @@ class DynamicCapacityController:
             return None
         injector = self._faults
         return lambda: injector.bvt_verdict(link_id)
+
+    # -- durability -----------------------------------------------------------
+
+    def bind_journal(
+        self,
+        directory: Any,
+        *,
+        resume: bool | str = False,
+        checkpoint_every: int = 8,
+        fsync: str = "round",
+    ) -> list[dict[str, Any]]:
+        """Journal every state transition and round to ``directory``.
+
+        Call before the first :meth:`step` (and *after*
+        :meth:`bind_faults`, so a resumed run can restore the
+        injector's sequential streams).  ``resume=False`` starts a
+        fresh journal — refusing to clobber an existing one;
+        ``resume=True`` recovers the directory and continues the
+        crashed run mid-round; ``resume="auto"`` resumes exactly when
+        a journal is already there.
+
+        Returns the recovered runs' committed round payloads, oldest
+        first (empty for a fresh journal): the host scenario replays
+        their contexts/reports into its own accounting and skips that
+        many round events, after which the continued run is
+        bit-identical to an uninterrupted one.
+        """
+        if self._journal is not None:
+            raise RuntimeError("a journal is already bound")
+        if resume == "auto":
+            resume = journal_exists(directory)
+        if not resume:
+            if journal_exists(directory):
+                raise FileExistsError(
+                    f"{directory} already holds a journal; pass resume=True "
+                    "(or 'auto') to continue it"
+                )
+            journal = StateJournal(
+                directory, checkpoint_every=checkpoint_every, fsync=fsync
+            )
+            journal.start(self.state)
+            self._journal = journal
+            self.state_store.attach_journal(journal)
+            return []
+        journal, recovered = reopen(
+            directory, checkpoint_every=checkpoint_every, fsync=fsync
+        )
+        # re-root the recovered snapshot on the controller's own
+        # physical topology: link iteration order (LP variable layout)
+        # must come from the object the rest of this run uses
+        state = NetworkState(
+            self.physical,
+            dict(recovered.state.links),
+            version=recovered.state.version,
+            parent_version=recovered.state.parent_version,
+            label=recovered.state.label,
+        )
+        self.state_store = StateStore(
+            state, name=f"controller:{self.physical.name}"
+        )
+        self.state_store.attach_journal(journal)
+        self._journal = journal
+        self.rounds_completed = recovered.n_rounds
+        last = recovered.last_round
+        if last is not None:
+            self._restore_runtime(last["runtime"], last["report"])
+        return recovered.rounds
+
+    def runtime_payload(self) -> dict[str, Any]:
+        """Everything beyond the state a resumed run must restore.
+
+        Journaled with every round frame: rng streams (exact
+        generator states — JSON carries the big ints losslessly),
+        traffic memory for the next round's penalties, downtime
+        accounting, per-link BVT configured rates, and the fault
+        injector's sequential streams when one is bound.
+        """
+        payload: dict[str, Any] = {
+            "rng": self._rng.bit_generator.state,
+            "backoff_rng": self._backoff_rng.bit_generator.state,
+            "traffic": dict(self._traffic),
+            "total_downtime_s": self.total_downtime_s,
+            "bvts": {
+                link_id: self._bvts[link_id].capacity_gbps
+                for link_id in sorted(self._bvts)
+            },
+            "has_last_solution": self._last_solution is not None,
+        }
+        if self._faults is not None:
+            snapshot = getattr(self._faults, "runtime_payload", None)
+            if snapshot is not None:
+                payload["faults"] = snapshot()
+        return payload
+
+    def _restore_runtime(
+        self,
+        runtime: Mapping[str, Any],
+        last_report_payload: Mapping[str, Any] | None,
+    ) -> None:
+        self._rng = np.random.default_rng(0)
+        self._rng.bit_generator.state = runtime["rng"]
+        self._backoff_rng = np.random.default_rng(0)
+        self._backoff_rng.bit_generator.state = runtime["backoff_rng"]
+        self._traffic = {k: float(v) for k, v in runtime["traffic"].items()}
+        self.total_downtime_s = float(runtime["total_downtime_s"])
+        self._bvts = {}
+        for link_id, capacity in runtime["bvts"].items():
+            bvt = Bvt(table=self.table, initial_capacity_gbps=capacity)
+            bvt.fault_hook = self._bvt_fault_hook(link_id)
+            self._bvts[link_id] = bvt
+        if runtime["has_last_solution"] and last_report_payload is not None:
+            # after any committed round, _last_solution is exactly the
+            # round's reported solution (step 7) — unless that round
+            # fell back with no prior solution, in which case the
+            # marker is False and the fallback stays empty on resume
+            self._last_solution = restore_solution(
+                last_report_payload["solution"]
+            )
+        if "faults" in runtime and self._faults is not None:
+            restore = getattr(self._faults, "restore_runtime", None)
+            if restore is not None:
+                restore(runtime["faults"])
+
+    def _commit_round(self, report: ControllerReport) -> None:
+        """Seal one round: journal the round frame, honour crash seams.
+
+        The round frame is the durability point — everything before it
+        (the round's state transitions) only *counts* once this frame
+        lands.  A bound ``controller.crash`` fault fires here:
+        ``pre-commit`` dies before the frame (the round rolls back on
+        recovery), ``mid-write`` tears the frame on disk, and
+        ``post-commit`` dies after it (the round survives).  Seams are
+        honoured even with no journal bound, so crash faults can test
+        unjournaled hosts too.
+        """
+        round_index = self.rounds_completed
+        seam: str | None = None
+        if self._faults is not None:
+            crash = getattr(self._faults, "crash_seam", None)
+            if crash is not None:
+                seam = crash(round_index)
+        if seam == "pre-commit":
+            raise ControllerCrash(round_index, seam)
+        if self._journal is not None:
+            payload = {
+                "round": round_index,
+                "context": dict(self._round_context),
+                "report": report_payload(report),
+                "runtime": self.runtime_payload(),
+            }
+            if seam == "mid-write":
+                self._journal.write_torn_round(payload)
+                raise ControllerCrash(round_index, seam)
+            self._journal.commit_round(payload)
+        elif seam == "mid-write":
+            raise ControllerCrash(round_index, seam)
+        self.rounds_completed += 1
+        if seam == "post-commit":
+            raise ControllerCrash(round_index, seam)
+        if self._journal is not None:
+            self._journal.maybe_checkpoint(self.state, self.rounds_completed)
+
+    def enforce_capacity(
+        self, link_id: str, capacity_gbps: float, *, label: str = "enforce"
+    ) -> None:
+        """Force one link's recorded capacity outside the round flow.
+
+        The safety-invariant escape hatch (the monitor's ``degrade``
+        policy pins a BER-violating link back to its feasible rate):
+        commits a single-link state transition without touching the
+        BVT model — the *record* is corrected now, the hardware
+        follows at the next round like any other downgrade.
+        """
+        link = self.state.links[link_id]
+        if link.capacity_gbps == capacity_gbps:
+            return
+        self._commit({link_id: {"capacity_gbps": capacity_gbps}}, label)
 
     # -- hardware access ----------------------------------------------------
 
@@ -544,6 +731,7 @@ class DynamicCapacityController:
 
         def handle(event: "Any") -> ControllerReport:
             sample = event.payload
+            self._round_context = {"time_s": sample.time_s}
             report = self.step(sample.snr_db, demands)
             if collect is not None:
                 collect(sample, report)
@@ -582,7 +770,8 @@ class DynamicCapacityController:
                     downtime_s=report.reconfiguration_downtime_s,
                     te_fallback=report.te_fallback,
                 )
-            return report
+        self._commit_round(report)
+        return report
 
     def _step_round(
         self,

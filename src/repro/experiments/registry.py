@@ -46,6 +46,11 @@ class ExecutionContext:
     #: environment); results are byte-identical either way, so this is
     #: a how-to-run knob like the others
     te_cache: bool | None = None
+    #: durable state-journal directory (see :mod:`repro.recovery`);
+    #: ``None`` runs unjournaled.  Results are byte-identical either
+    #: way — a journaled run that crashes merely becomes *resumable* —
+    #: so this too is a how-to-run knob, excluded from artifact keys
+    journal_dir: str | None = None
 
 
 @dataclass(frozen=True)
@@ -156,7 +161,18 @@ _STATE_MODULES = (
     "repro.state.delta",
     "repro.state.digest",
     "repro.state.model",
+    "repro.state.serialize",
     "repro.state.store",
+)
+
+#: the crash-tolerance layer (journal, recovery, invariants); the
+#: simulators import it unconditionally, so experiments that replay on
+#: them fingerprint it too even though ``journal_dir=None`` runs are
+#: byte-identical to pre-journal ones
+_RECOVERY_MODULES = (
+    "repro.recovery.invariants",
+    "repro.recovery.journal",
+    "repro.recovery.reports",
 )
 
 
@@ -668,6 +684,8 @@ def _run_reactive(
         demands,
         te_interval_s=te_interval_h * 3600.0,
         mode=mode,
+        journal_dir=ctx.journal_dir,
+        resume="auto",
     )
     return {
         "mode": mode,
@@ -753,6 +771,7 @@ register(
         modules=_BASE_MODULES
         + _ENGINE_MODULES
         + _STATE_MODULES
+        + _RECOVERY_MODULES
         + (
             "repro.bvt.transceiver",
             "repro.core.controller",
@@ -795,6 +814,7 @@ register(
         modules=_BASE_MODULES
         + _ENGINE_MODULES
         + _STATE_MODULES
+        + _RECOVERY_MODULES
         + (
             "repro.core.controller",
             "repro.core.policies",

@@ -25,9 +25,10 @@ into the run directory's ``obs/<key>/`` (see
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable
 
@@ -80,6 +81,19 @@ class SweepReport:
     @property
     def complete(self) -> bool:
         return not self.pending and self.n_failed == 0
+
+
+def _point_context(context: ExecutionContext, key: str) -> ExecutionContext:
+    """Per-point context: a sweep-level journal dir becomes a root.
+
+    Two points journaling into one directory would collide (a fresh
+    bind refuses an existing journal), so each point journals into a
+    subdirectory named by its artifact key — stable across resumes,
+    exactly like the artifacts themselves.
+    """
+    if context.journal_dir is None:
+        return context
+    return replace(context, journal_dir=os.path.join(context.journal_dir, key))
 
 
 def _execute_point(payload: dict[str, Any]) -> dict[str, Any]:
@@ -181,8 +195,12 @@ def run_sweep(
         todo = todo[:max_runs]
 
     payloads = [
-        {"spec": spec.to_payload(), "context": vars(context), "trace": trace}
-        for spec, _ in todo
+        {
+            "spec": spec.to_payload(),
+            "context": vars(_point_context(context, key)),
+            "trace": trace,
+        }
+        for spec, key in todo
     ]
     n_workers = resolve_workers(workers)
     with perf.timer("sweep.run", workers=n_workers, n_points=n_total):

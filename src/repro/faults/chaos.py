@@ -41,35 +41,19 @@ def _canonical(metrics: Mapping[str, Any]) -> str:
     return json.dumps(metrics, sort_keys=True, separators=(",", ":"))
 
 
-def run_chaos_point(
-    *,
-    days: float = 1.0,
-    intensity: float = 1.0,
-    policy: str = "run",
-    seed: int = 7,
-    te_interval_h: float = 4.0,
-    retries: int = 3,
-) -> dict[str, Any]:
-    """One intensity point: the paired-run replay plus its metrics.
+def _chaos_inputs(days: float, seed: int) -> tuple[Any, dict[str, Any], list[Any]]:
+    """The shared scenario of every chaos/crash point.
 
-    Intensity 0 builds **no plan at all** (``faults=None``), so the
-    zero point of every sweep doubles as the no-fault regression
-    anchor: it must match a plain replay bit for bit.
+    Returns ``(topology, traces_by_link, demands)``: a 3-node line,
+    synthesized SNR traces with a mid-horizon amplifier dip, gravity
+    demands — all seed-keyed, so paired runs start from identical
+    state.
     """
-    from repro.core.controller import DynamicCapacityController, RetryPolicy
-    from repro.core.policies import crawl_policy, run_policy, walk_policy
-    from repro.faults.inject import FaultInjector
-    from repro.faults.spec import FaultPlan
     from repro.net.demands import gravity_demands
     from repro.net.topologies import line_topology
     from repro.optics.impairments import AmplifierDegradation
-    from repro.sim.replay import replay_controller
     from repro.telemetry.timebase import Timebase
     from repro.telemetry.traces import NoiseModel, synthesize_cable_traces
-
-    policies = {"run": run_policy, "walk": walk_policy, "crawl": crawl_policy}
-    if policy not in policies:
-        raise ValueError(f"unknown policy {policy!r} (valid: {tuple(policies)})")
 
     topology = line_topology(3)
     timebase = Timebase.from_duration(days=days)
@@ -90,6 +74,35 @@ def run_chaos_point(
     demands = gravity_demands(
         topology, 400.0, component_rng(seed, "chaos.demands")
     )
+    return topology, traces_by_link, demands
+
+
+def run_chaos_point(
+    *,
+    days: float = 1.0,
+    intensity: float = 1.0,
+    policy: str = "run",
+    seed: int = 7,
+    te_interval_h: float = 4.0,
+    retries: int = 3,
+) -> dict[str, Any]:
+    """One intensity point: the paired-run replay plus its metrics.
+
+    Intensity 0 builds **no plan at all** (``faults=None``), so the
+    zero point of every sweep doubles as the no-fault regression
+    anchor: it must match a plain replay bit for bit.
+    """
+    from repro.core.controller import DynamicCapacityController, RetryPolicy
+    from repro.core.policies import crawl_policy, run_policy, walk_policy
+    from repro.faults.inject import FaultInjector
+    from repro.faults.spec import FaultPlan
+    from repro.sim.replay import replay_controller
+
+    policies = {"run": run_policy, "walk": walk_policy, "crawl": crawl_policy}
+    if policy not in policies:
+        raise ValueError(f"unknown policy {policy!r} (valid: {tuple(policies)})")
+
+    topology, traces_by_link, demands = _chaos_inputs(days, seed)
 
     def one_run() -> dict[str, Any]:
         injector = (
@@ -154,6 +167,147 @@ def run_chaos_sweep(
     return [
         run_chaos_point(intensity=float(i), **point_kwargs) for i in intensities
     ]
+
+
+def run_crash_point(
+    *,
+    crash_round: int,
+    seam: str,
+    journal_dir: str,
+    days: float = 1.0,
+    policy: str = "run",
+    seed: int = 7,
+    te_interval_h: float = 4.0,
+) -> dict[str, Any]:
+    """One crash-equivalence proof: crash, recover, compare.
+
+    Three runs over identical inputs: a **reference** run (no journal,
+    no faults) straight through; a **crashed** run journaling to
+    ``journal_dir`` with a single ``controller.crash`` fault at
+    ``(crash_round, seam)``, which must die mid-run; and a **resumed**
+    run recovering that journal (no crash fault this time — a
+    ``pre-commit`` crash would otherwise strike the same round
+    forever).  The point passes when the resumed run's full per-round
+    metric arrays are byte-identical to the reference's.
+    """
+    from repro.core.controller import DynamicCapacityController
+    from repro.core.policies import crawl_policy, run_policy, walk_policy
+    from repro.faults.spec import FaultPlan, FaultSpec
+    from repro.recovery.journal import ControllerCrash
+    from repro.sim.replay import ReplayResult, replay_controller
+
+    policies = {"run": run_policy, "walk": walk_policy, "crawl": crawl_policy}
+    if policy not in policies:
+        raise ValueError(f"unknown policy {policy!r} (valid: {tuple(policies)})")
+
+    topology, traces_by_link, demands = _chaos_inputs(days, seed)
+
+    def fresh_controller() -> DynamicCapacityController:
+        return DynamicCapacityController(
+            topology, policy=policies[policy](), seed=seed, audit=True
+        )
+
+    def run(**kwargs: Any) -> ReplayResult:
+        return replay_controller(
+            fresh_controller(),
+            traces_by_link,
+            demands,
+            te_interval_s=te_interval_h * 3600.0,
+            **kwargs,
+        )
+
+    def canonical(result: ReplayResult) -> str:
+        return _canonical(
+            {
+                "times_s": result.times_s.tolist(),
+                "throughput_gbps": result.throughput_gbps.tolist(),
+                "n_upgrades": result.n_upgrades.tolist(),
+                "n_downgrades": result.n_downgrades.tolist(),
+                "n_failed": result.n_failed.tolist(),
+                "downtime_s": result.downtime_s.tolist(),
+                "n_batches": [
+                    r.n_reconfiguration_batches for r in result.reports
+                ],
+                "disrupted_gbps": [
+                    r.traffic_disrupted_gbps for r in result.reports
+                ],
+            }
+        )
+
+    reference = run()
+    crash_plan = FaultPlan(
+        specs=(
+            FaultSpec(
+                "controller.crash", crash_round=crash_round, crash_seam=seam
+            ),
+        ),
+        seed=seed,
+    )
+    crashed = False
+    try:
+        run(faults=crash_plan, journal_dir=journal_dir)
+    except ControllerCrash:
+        crashed = True
+    resumed = run(journal_dir=journal_dir, resume=True)
+    reference_canonical = canonical(reference)
+    return {
+        "crash_round": int(crash_round),
+        "seam": seam,
+        "policy": policy,
+        "crashed": crashed,
+        "n_rounds": int(resumed.n_rounds),
+        "n_reference_rounds": int(reference.n_rounds),
+        "mean_throughput_gbps": float(resumed.mean_throughput_gbps),
+        "byte_identical": canonical(resumed) == reference_canonical,
+        "canonical": reference_canonical,
+    }
+
+
+def run_crash_sweep(
+    crash_rounds: Sequence[int],
+    seams: Sequence[str],
+    *,
+    journal_root: str,
+    **point_kwargs: Any,
+) -> list[dict[str, Any]]:
+    """One :func:`run_crash_point` per (round, seam), fresh journal each."""
+    import os
+
+    points = []
+    for crash_round in crash_rounds:
+        for seam in seams:
+            journal_dir = os.path.join(
+                journal_root, f"crash-r{crash_round}-{seam}"
+            )
+            points.append(
+                run_crash_point(
+                    crash_round=int(crash_round),
+                    seam=seam,
+                    journal_dir=journal_dir,
+                    **point_kwargs,
+                )
+            )
+    return points
+
+
+def crash_verdicts(points: Sequence[Mapping[str, Any]]) -> list[str]:
+    """Crash-equivalence violations (empty == every seam recovered)."""
+    problems: list[str] = []
+    for p in points:
+        where = f"round {p['crash_round']}, seam {p['seam']}"
+        if not p["crashed"]:
+            problems.append(f"{where}: the crash fault never fired")
+        if p["n_rounds"] != p["n_reference_rounds"]:
+            problems.append(
+                f"{where}: resumed run produced {p['n_rounds']} rounds, "
+                f"reference {p['n_reference_rounds']}"
+            )
+        if not p["byte_identical"]:
+            problems.append(
+                f"{where}: recovered run is not byte-identical to the "
+                "uninterrupted reference"
+            )
+    return problems
 
 
 def chaos_verdicts(points: Sequence[Mapping[str, Any]]) -> list[str]:

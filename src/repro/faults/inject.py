@@ -171,6 +171,57 @@ class FaultInjector:
             return True
         return False
 
+    # -- crash seam ---------------------------------------------------------
+
+    def crash_seam(self, round_index: int) -> str | None:
+        """Where a ``controller.crash`` fault strikes this round, if at all.
+
+        Consulted by the controller's round-commit protocol; purely
+        deterministic (round index match, no draw), so crash faults
+        perturb no other stream.
+        """
+        for spec in self.plan.specs:
+            if spec.kind == "controller.crash" and spec.crash_round == round_index:
+                self.count("controller.crash")
+                return spec.crash_seam
+        return None
+
+    # -- crash recovery -----------------------------------------------------
+
+    def runtime_payload(self) -> dict[str, object]:
+        """The injector's *sequential* streams, for the journal.
+
+        Only the ``bvt.*``/``te.*`` draws advance one-at-a-time with
+        the run and must be restored exactly; telemetry faults are
+        positionally keyed (and their counts — like the lineage
+        commits — are naturally re-counted when a resumed run re-reads
+        the feed from the start), so they need nothing here.
+        """
+        return {
+            "te_rng": self._te_rng.bit_generator.state,
+            "bvt_rngs": {
+                link_id: rng.bit_generator.state
+                for link_id, rng in sorted(self._bvt_rngs.items())
+            },
+            "counts": {
+                kind: n
+                for kind, n in sorted(self.counts.items())
+                if kind.startswith(("bvt.", "te."))
+            },
+        }
+
+    def restore_runtime(self, payload: Mapping[str, object]) -> None:
+        """Set (never add to) the sequential streams from a journal."""
+        self._te_rng = np.random.default_rng(0)
+        self._te_rng.bit_generator.state = payload["te_rng"]
+        self._bvt_rngs = {}
+        for link_id, state in payload["bvt_rngs"].items():
+            rng = np.random.default_rng(0)
+            rng.bit_generator.state = state
+            self._bvt_rngs[link_id] = rng
+        for kind, n in payload["counts"].items():
+            self.counts[kind] = int(n)
+
 
 def _draw_windows(
     spec: FaultSpec,

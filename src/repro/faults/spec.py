@@ -27,6 +27,11 @@ bvt.power_cycle      the efficient in-service swap times out and the BVT
                      falls back to the laser power-cycle path (§3.1) —
                      the change lands, but at standard-procedure downtime
 te.exception         the TE solver raises for this round's solve
+controller.crash     the controller process dies at round ``crash_round``,
+                     at seam ``crash_seam`` of the round-commit protocol
+                     (``pre-commit`` / ``post-commit`` / ``mid-write``,
+                     the last tearing the journal frame on disk) —
+                     deterministic, no randomness involved
 ===================  ======================================================
 
 Randomness never lives here: specs are pure data, and all draws happen
@@ -49,6 +54,7 @@ KINDS = (
     "bvt.failure",
     "bvt.power_cycle",
     "te.exception",
+    "controller.crash",
 )
 
 #: kinds realised as per-link time windows drawn over the horizon
@@ -56,6 +62,12 @@ WINDOWED_KINDS = ("telemetry.dropout", "telemetry.stuck", "telemetry.delay")
 
 #: kinds realised as per-event Bernoulli draws
 BERNOULLI_KINDS = ("telemetry.corrupt", "bvt.failure", "bvt.power_cycle", "te.exception")
+
+#: kinds that fire deterministically (no rate, no probability, no rng)
+DETERMINISTIC_KINDS = ("controller.crash",)
+
+#: where in the round-commit protocol a controller.crash fault strikes
+CRASH_SEAMS = ("pre-commit", "post-commit", "mid-write")
 
 
 @dataclass(frozen=True)
@@ -76,6 +88,10 @@ class FaultSpec:
             window (``telemetry.delay`` only).
         links: restrict the spec to these link ids; ``None`` = every
             link the run knows.
+        crash_round: the round index a ``controller.crash`` fault
+            strikes at (0-based, counted over committed rounds).
+        crash_seam: where in the round-commit protocol it strikes —
+            one of :data:`CRASH_SEAMS` (``controller.crash`` only).
     """
 
     kind: str
@@ -85,6 +101,8 @@ class FaultSpec:
     magnitude_db: float = 0.0
     delay_samples: int = 0
     links: tuple[str, ...] | None = None
+    crash_round: int = 0
+    crash_seam: str = "post-commit"
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -99,10 +117,21 @@ class FaultSpec:
             raise ValueError("magnitude_db must be non-negative")
         if self.delay_samples < 0:
             raise ValueError("delay_samples must be non-negative")
+        if self.crash_round < 0:
+            raise ValueError("crash_round must be non-negative")
+        if self.crash_seam not in CRASH_SEAMS:
+            raise ValueError(
+                f"unknown crash seam {self.crash_seam!r} (valid: {CRASH_SEAMS})"
+            )
         if self.kind in WINDOWED_KINDS and self.probability:
             raise ValueError(f"{self.kind} is windowed; set rate_per_day, not probability")
         if self.kind in BERNOULLI_KINDS and self.rate_per_day:
             raise ValueError(f"{self.kind} is per-event; set probability, not rate_per_day")
+        if self.kind in DETERMINISTIC_KINDS and (self.rate_per_day or self.probability):
+            raise ValueError(
+                f"{self.kind} is deterministic; set crash_round/crash_seam, "
+                "not rate_per_day or probability"
+            )
 
     def applies_to(self, link_id: str) -> bool:
         return self.links is None or link_id in self.links
@@ -127,6 +156,9 @@ class FaultSpec:
             out["delay_samples"] = self.delay_samples
         if self.links is not None:
             out["links"] = list(self.links)
+        if self.kind in DETERMINISTIC_KINDS:
+            out["crash_round"] = self.crash_round
+            out["crash_seam"] = self.crash_seam
         return out
 
     @classmethod

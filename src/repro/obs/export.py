@@ -285,6 +285,21 @@ def run_summary(
         )
         if n_transitions:
             lines.append(f"state: {n_transitions} transitions")
+        n_violations = sum(
+            1 for e in tracer.events if e.name == "invariant.violation"
+        )
+        if n_violations:
+            by_invariant: dict[str, int] = {}
+            for e in tracer.events:
+                if e.name == "invariant.violation":
+                    which = str(e.attrs.get("invariant", "?"))
+                    by_invariant[which] = by_invariant.get(which, 0) + 1
+            breakdown = ", ".join(
+                f"{k}={n}" for k, n in sorted(by_invariant.items())
+            )
+            lines.append(
+                f"invariants: {n_violations} violation(s) ({breakdown})"
+            )
         by_name: dict[str, tuple[int, float]] = {}
         for s in tracer.spans:
             n, tot = by_name.get(s.name, (0, 0.0))

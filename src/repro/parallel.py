@@ -14,13 +14,23 @@ through one probe/fallback path:
   (jobs that carry their own rng stay deterministic either way);
 * :func:`pool_map` — ordered map over a pool with bounded in-flight
   work, so streaming consumers keep their bounded-memory guarantees.
+
+:func:`pool_map` also survives a *dying* pool: a worker SIGKILLed
+mid-job (OOM killer, a crash-fault experiment gone feral) breaks the
+whole :class:`~concurrent.futures.ProcessPoolExecutor`, which poisons
+every outstanding future.  Instead of surfacing that as a sweep-wide
+failure, the map falls back once to a thread pool and re-runs the
+unfinished items in order — results stay ordered and deterministic,
+and the event is counted (``parallel.broken_pool``).
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Iterator, TypeVar
 
 from repro.obs import metrics as _metrics
@@ -79,14 +89,42 @@ def pool_map(
     In-flight work is bounded (``workers + 2`` outstanding futures) so a
     streaming consumer keeps a bounded-memory guarantee even when
     producers run ahead.
+
+    A :class:`BrokenProcessPool` (a worker died — SIGKILL, OOM) does
+    not poison the map: the unfinished items are retried once, in
+    order, on a thread pool.  Anything ``fn`` itself raises propagates
+    unchanged, on either pool.
     """
     _metrics.gauge("parallel.workers").set(workers)
+    items = iter(items)
     with make_pool(workers) as pool:
+        # (item, future) pairs: if the pool dies we still know which
+        # inputs the broken futures belonged to
         pending: deque = deque()
-        for item in items:
-            pending.append(pool.submit(fn, item))
+        try:
+            for item in items:
+                pending.append((item, pool.submit(fn, item)))
+                _metrics.counter("parallel.jobs").inc()
+                if len(pending) > workers + 2:
+                    result = pending[0][1].result()
+                    pending.popleft()
+                    yield result
+            while pending:
+                result = pending[0][1].result()
+                pending.popleft()
+                yield result
+            return
+        except BrokenProcessPool:
+            _metrics.counter("parallel.broken_pool").inc()
+    # the broken pool is torn down; retry every unfinished item (the
+    # in-flight ones plus whatever the iterator still holds) on threads
+    retry = itertools.chain((item for item, _ in pending), items)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        fallback: deque = deque()
+        for item in retry:
+            fallback.append(pool.submit(fn, item))
             _metrics.counter("parallel.jobs").inc()
-            if len(pending) > workers + 2:
-                yield pending.popleft().result()
-        while pending:
-            yield pending.popleft().result()
+            if len(fallback) > workers + 2:
+                yield fallback.popleft().result()
+        while fallback:
+            yield fallback.popleft().result()

@@ -1,0 +1,66 @@
+"""``repro.recovery`` — crash tolerance for the control plane.
+
+Three pieces turn the controller from a process that loses everything
+on death into one that resumes mid-round, bit-for-bit:
+
+* :class:`StateJournal` / :func:`recover` / :func:`reopen` — a durable
+  write-ahead log of every state transition (length+CRC framed
+  canonical JSONL, round frames as commit points, atomic full-state
+  checkpoints every K rounds) and the recovery path that replays it,
+  truncating torn tails (:mod:`repro.recovery.journal`);
+* :func:`report_payload` / :func:`restore_report` — round frames carry
+  the full :class:`ControllerReport` so a resumed run hands back the
+  complete per-round history (:mod:`repro.recovery.reports`);
+* :class:`InvariantMonitor` — runtime safety invariants (BER
+  feasibility, no stale restores, monotonic versions, journal/store
+  lineage agreement) with record/degrade/abort policies
+  (:mod:`repro.recovery.invariants`).
+
+Layering: imports state + obs (and, lazily, the controller's report
+types when *restoring*); the controller imports this package, never
+the other way around at module level.
+"""
+
+from repro.recovery.invariants import (
+    InvariantMonitor,
+    InvariantViolation,
+    InvariantViolationError,
+)
+from repro.recovery.journal import (
+    ControllerCrash,
+    RecoveredRun,
+    RecoveryError,
+    StateJournal,
+    encode_frame,
+    iter_frames,
+    journal_exists,
+    recover,
+    reopen,
+)
+from repro.recovery.reports import (
+    RestoredSolution,
+    report_payload,
+    restore_report,
+    restore_solution,
+    solution_payload,
+)
+
+__all__ = [
+    "ControllerCrash",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "InvariantViolationError",
+    "RecoveredRun",
+    "RecoveryError",
+    "RestoredSolution",
+    "StateJournal",
+    "encode_frame",
+    "iter_frames",
+    "journal_exists",
+    "recover",
+    "reopen",
+    "report_payload",
+    "restore_report",
+    "restore_solution",
+    "solution_payload",
+]

@@ -1,0 +1,151 @@
+"""Round-frame payloads: ``ControllerReport`` in, ``ControllerReport`` out.
+
+Every committed round journals its report so a resumed run can hand the
+caller the *complete* per-round history — the arrays a
+:class:`~repro.sim.replay.ReplayResult` is built from must cover the
+rounds the crashed process executed, not just the ones the survivor
+re-runs.
+
+Solutions are journaled as their *consumed surface*, not the full LP
+output: everything downstream of a report reads only
+``total_allocated_gbps`` and ``link_flow(link_id)`` (throughput
+accounting, next-round disruption penalties, reactive lag charges), so
+:class:`RestoredSolution` carries exactly the flow totals and answers
+those two bit-for-bit.  Restored reports therefore reproduce every
+number the simulators and golden canonicalisations derive, without
+persisting per-demand flow assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+
+class RestoredSolution:
+    """A journaled TE solution: flow totals without the LP internals.
+
+    Duck-types the slice of :class:`~repro.te.solution.TeSolution` the
+    control loop and the simulators consume after a round has committed:
+    ``total_allocated_gbps`` and ``link_flow``.
+    """
+
+    __slots__ = ("total_allocated_gbps", "_link_flow")
+
+    def __init__(self, total_allocated_gbps: float, link_flow: Mapping[str, float]):
+        self.total_allocated_gbps = total_allocated_gbps
+        self._link_flow = dict(link_flow)
+
+    def link_flow(self, link_id: str) -> float:
+        return self._link_flow.get(link_id, 0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"RestoredSolution(allocated={self.total_allocated_gbps:.1f} Gbps, "
+            f"links={len(self._link_flow)})"
+        )
+
+
+def solution_payload(solution: Any) -> dict[str, Any]:
+    """One TE solution (real or restored) as a plain-JSON dict."""
+    return {
+        "total_allocated_gbps": solution.total_allocated_gbps,
+        "link_flow": dict(solution._link_flow),
+    }
+
+
+def restore_solution(payload: Mapping[str, Any]) -> RestoredSolution:
+    return RestoredSolution(
+        payload["total_allocated_gbps"], payload["link_flow"]
+    )
+
+
+def report_payload(report: Any) -> dict[str, Any]:
+    """One :class:`ControllerReport` as a plain-JSON dict."""
+    return {
+        "solution": solution_payload(report.solution),
+        "upgrades": [
+            {
+                "link_id": u.link_id,
+                "old_capacity_gbps": u.old_capacity_gbps,
+                "new_capacity_gbps": u.new_capacity_gbps,
+                "headroom_used_gbps": u.headroom_used_gbps,
+                "disrupted_traffic_gbps": u.disrupted_traffic_gbps,
+            }
+            for u in report.upgrades
+        ],
+        "downgrades": [
+            {
+                "link_id": d.link_id,
+                "old_capacity_gbps": d.old_capacity_gbps,
+                "new_capacity_gbps": d.new_capacity_gbps,
+            }
+            for d in report.downgrades
+        ],
+        "failed_links": list(report.failed_links),
+        "restored_links": list(report.restored_links),
+        "reconfiguration_downtime_s": report.reconfiguration_downtime_s,
+        "traffic_disrupted_gbps": report.traffic_disrupted_gbps,
+        "interim_solution": (
+            None
+            if report.interim_solution is None
+            else solution_payload(report.interim_solution)
+        ),
+        "n_reconfiguration_batches": report.n_reconfiguration_batches,
+        "n_retries": report.n_retries,
+        "retry_backoff_s": report.retry_backoff_s,
+        "reconfig_failed_links": list(report.reconfig_failed_links),
+        "te_fallback": report.te_fallback,
+        "stale_links": list(report.stale_links),
+        "fault_capacity_loss_gbps": report.fault_capacity_loss_gbps,
+        "ber_violations": list(report.ber_violations),
+    }
+
+
+def restore_report(payload: Mapping[str, Any]) -> Any:
+    """The inverse of :func:`report_payload`.
+
+    Imports lazily: this module sits below the controller in the
+    layering (the journal must not pull the control loop in), the
+    restored *object* is the controller's own report type.
+    """
+    from repro.core.controller import ControllerReport, LinkDowngrade
+    from repro.core.translation import LinkUpgrade
+
+    return ControllerReport(
+        solution=restore_solution(payload["solution"]),
+        upgrades=tuple(
+            LinkUpgrade(
+                link_id=u["link_id"],
+                old_capacity_gbps=u["old_capacity_gbps"],
+                new_capacity_gbps=u["new_capacity_gbps"],
+                headroom_used_gbps=u["headroom_used_gbps"],
+                disrupted_traffic_gbps=u["disrupted_traffic_gbps"],
+            )
+            for u in payload["upgrades"]
+        ),
+        downgrades=tuple(
+            LinkDowngrade(
+                link_id=d["link_id"],
+                old_capacity_gbps=d["old_capacity_gbps"],
+                new_capacity_gbps=d["new_capacity_gbps"],
+            )
+            for d in payload["downgrades"]
+        ),
+        failed_links=tuple(payload["failed_links"]),
+        restored_links=tuple(payload["restored_links"]),
+        reconfiguration_downtime_s=payload["reconfiguration_downtime_s"],
+        traffic_disrupted_gbps=payload["traffic_disrupted_gbps"],
+        interim_solution=(
+            None
+            if payload["interim_solution"] is None
+            else restore_solution(payload["interim_solution"])
+        ),
+        n_reconfiguration_batches=payload["n_reconfiguration_batches"],
+        n_retries=payload["n_retries"],
+        retry_backoff_s=payload["retry_backoff_s"],
+        reconfig_failed_links=tuple(payload["reconfig_failed_links"]),
+        te_fallback=payload["te_fallback"],
+        stale_links=tuple(payload["stale_links"]),
+        fault_capacity_loss_gbps=payload["fault_capacity_loss_gbps"],
+        ber_violations=tuple(payload["ber_violations"]),
+    )

@@ -45,6 +45,8 @@ from repro.faults.inject import FaultInjector, as_injector
 from repro.faults.spec import FaultPlan
 from repro.net.demands import Demand
 from repro.obs import trace as _trace
+from repro.recovery.invariants import InvariantMonitor
+from repro.recovery.reports import restore_report
 from repro.telemetry.traces import SnrTrace
 
 _MODES = ("scheduled", "reactive", "proactive")
@@ -96,6 +98,10 @@ class _ReactionScenario:
         self.lost_gbps_hours = 0.0
         self.throughputs: list[float] = []
         self.last_solution = None
+        #: samples to pass through untouched on a journal resume (the
+        #: EWMA detectors still observe them — their state must evolve
+        #: exactly as it did before the crash)
+        self.skip_samples = 0
 
     def on_sample(self, event: Event) -> None:
         sample = event.payload
@@ -104,6 +110,11 @@ class _ReactionScenario:
         in_dip: set[str] = set()
         if self.monitor is not None:
             in_dip = self.monitor.observe(self.engine, sample)
+        if self.skip_samples > 0:
+            # journal resume: this sample's effects (lag charges,
+            # rounds) are already in the restored accounting
+            self.skip_samples -= 1
+            return
 
         # 1. charge reaction lag: links below their configured threshold
         if self.last_solution is not None:
@@ -148,6 +159,17 @@ class _ReactionScenario:
                 effective[link_id] = max(
                     snrs[link_id] - self.pessimism_db, 0.0
                 )
+        # journaled with the round frame: everything a resumed run
+        # needs to rebuild this scenario's accounting mid-stream (the
+        # counters are written at their post-round values — the round
+        # being committed is this one)
+        controller._round_context = {
+            "time_s": sample.time_s,
+            "sample_index": sample.index,
+            "n_scheduled": self.n_scheduled + (1 if scheduled else 0),
+            "n_emergency": self.n_emergency + (0 if scheduled else 1),
+            "lost_gbps_hours": self.lost_gbps_hours,
+        }
         report = controller.step(effective, self.demands)
         self.last_solution = report.solution
         self.throughputs.append(report.throughput_gbps)
@@ -182,6 +204,9 @@ def reactive_replay(
     detector_k_sigma: float = 5.0,
     faults: FaultPlan | FaultInjector | None = None,
     te_cache: bool | None = None,
+    journal_dir: "str | None" = None,
+    resume: bool | str = False,
+    invariants: str | None = None,
 ) -> ReactiveResult:
     """Walk the telemetry sample by sample, charging reaction lag.
 
@@ -207,11 +232,28 @@ def reactive_replay(
             :meth:`~repro.core.controller.DynamicCapacityController.configure_te_cache`);
             ``None`` leaves the controller as constructed.  Results are
             byte-identical either way.
+        journal_dir: journal every state transition and round to this
+            directory; ``None`` (the default) changes nothing.
+        resume: with ``journal_dir``, continue a crashed run: the
+            scenario's accounting (round counters, lag charges,
+            throughput history) is rebuilt from the journal, already-
+            committed samples pass through untouched, and the returned
+            :class:`ReactiveResult` is byte-identical to an
+            uninterrupted run.  ``"auto"`` resumes exactly when the
+            directory already holds a journal.
+        invariants: arm an
+            :class:`~repro.recovery.invariants.InvariantMonitor` with
+            this policy (``"record"``/``"degrade"``/``"abort"``);
+            ``None`` runs unmonitored.
 
     Raises:
         ValueError: for a ``mode`` outside :data:`_MODES` — validated
             before any trace is touched, so a typo cannot silently run
             as a different mode.
+        repro.recovery.journal.ControllerCrash: when an armed
+            ``controller.crash`` fault fires mid-run.
+        repro.recovery.invariants.InvariantViolationError: when an
+            ``abort``-policy monitor stopped the run.
     """
     if mode not in _MODES:
         raise ValueError(f"unknown mode {mode!r} (expected one of {_MODES})")
@@ -222,6 +264,9 @@ def reactive_replay(
     if injector is not None:
         feed = injector.wrap_feed(feed)
         controller.bind_faults(injector)
+    restored: list[dict] = []
+    if journal_dir is not None:
+        restored = controller.bind_journal(journal_dir, resume=resume)
     if te_interval_s < feed.timebase.interval_s:
         raise ValueError("TE interval cannot be finer than the telemetry")
     stride = max(int(te_interval_s // feed.timebase.interval_s), 1)
@@ -242,11 +287,31 @@ def reactive_replay(
         pessimism_db=pessimism_db,
         monitor=monitor,
     )
+    if restored:
+        reports = [restore_report(r["report"]) for r in restored]
+        last_context = restored[-1]["context"]
+        scenario.n_scheduled = int(last_context["n_scheduled"])
+        scenario.n_emergency = int(last_context["n_emergency"])
+        scenario.lost_gbps_hours = float(last_context["lost_gbps_hours"])
+        scenario.throughputs = [r.throughput_gbps for r in reports]
+        scenario.last_solution = reports[-1].solution
+        scenario.skip_samples = int(last_context["sample_index"]) + 1
     engine.subscribe(TelemetrySource.KIND, scenario.on_sample)
     engine.add_source(TelemetrySource(feed))
+    monitor_iv = (
+        InvariantMonitor(controller, policy=invariants).attach(engine)
+        if invariants is not None
+        else None
+    )
     _trace.observe_engine(engine)
-    with _trace.span(
-        "sim.reactive", mode=mode, n_links=len(traces_by_link)
-    ):
-        engine.run()
+    try:
+        with _trace.span(
+            "sim.reactive", mode=mode, n_links=len(traces_by_link)
+        ):
+            engine.run()
+    finally:
+        if journal_dir is not None:
+            controller._journal.close()
+    if monitor_iv is not None:
+        monitor_iv.raise_if_fatal()
     return scenario.result()

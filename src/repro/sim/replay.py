@@ -27,6 +27,8 @@ from repro.faults.inject import FaultInjector, as_injector
 from repro.faults.spec import FaultPlan
 from repro.net.demands import Demand
 from repro.obs import trace as _trace
+from repro.recovery.invariants import InvariantMonitor
+from repro.recovery.reports import restore_report
 from repro.telemetry.traces import SnrTrace
 
 
@@ -68,6 +70,9 @@ def replay_controller(
     max_rounds: int | None = None,
     faults: FaultPlan | FaultInjector | None = None,
     te_cache: bool | None = None,
+    journal_dir: "str | None" = None,
+    resume: bool | str = False,
+    invariants: str | None = None,
 ) -> ReplayResult:
     """Drive ``controller`` with trace samples every ``te_interval_s``.
 
@@ -91,6 +96,28 @@ def replay_controller(
             :meth:`~repro.core.controller.DynamicCapacityController.configure_te_cache`);
             ``None`` leaves the controller as constructed.  Results are
             byte-identical either way.
+        journal_dir: journal every state transition and round to this
+            directory (see
+            :meth:`~repro.core.controller.DynamicCapacityController.bind_journal`).
+            ``None`` (the default) changes nothing — the run is
+            bit-identical to one without this parameter.
+        resume: with ``journal_dir``, continue a crashed run from its
+            journal: recovered rounds are replayed into the result
+            arrays and the engine skips that many round events, so the
+            returned :class:`ReplayResult` is byte-identical to an
+            uninterrupted run.  ``"auto"`` resumes exactly when the
+            directory already holds a journal.
+        invariants: arm an
+            :class:`~repro.recovery.invariants.InvariantMonitor` with
+            this policy (``"record"``/``"degrade"``/``"abort"``);
+            ``None`` runs unmonitored.
+
+    Raises:
+        repro.recovery.journal.ControllerCrash: when an armed
+            ``controller.crash`` fault fires mid-run (the journal then
+            holds everything a ``resume`` run needs).
+        repro.recovery.invariants.InvariantViolationError: when an
+            ``abort``-policy monitor stopped the run.
     """
     injector = as_injector(faults)
     if te_cache is not None:
@@ -99,32 +126,60 @@ def replay_controller(
     if injector is not None:
         feed = injector.wrap_feed(feed)
         controller.bind_faults(injector)
+    restored: list[dict] = []
+    if journal_dir is not None:
+        restored = controller.bind_journal(journal_dir, resume=resume)
     rounds = ScheduledRounds(
         feed, te_interval_s=te_interval_s, max_rounds=max_rounds
     )
 
-    times: list[float] = []
-    reports: list[ControllerReport] = []
+    times: list[float] = [float(r["context"]["time_s"]) for r in restored]
+    reports: list[ControllerReport] = [
+        restore_report(r["report"]) for r in restored
+    ]
 
     engine = Engine(clock=SimClock(start_s=feed.timebase.start_s))
-    engine.subscribe(
-        ScheduledRounds.KIND,
-        controller.make_round_handler(
-            demands,
-            engine=engine,
-            collect=lambda sample, report: (
-                times.append(sample.time_s), reports.append(report)
-            ),
+    handler = controller.make_round_handler(
+        demands,
+        engine=engine,
+        collect=lambda sample, report: (
+            times.append(sample.time_s), reports.append(report)
         ),
     )
+    if restored:
+        # the sources replay every sample from t=0 either way (that is
+        # what keeps positionally-keyed fault streams aligned); the
+        # recovered rounds themselves must not re-execute
+        skip = len(restored)
+        inner = handler
+
+        def handler(event):  # noqa: F811 - deliberate gated rebind
+            nonlocal skip
+            if skip > 0:
+                skip -= 1
+                return
+            inner(event)
+
+    engine.subscribe(ScheduledRounds.KIND, handler)
     engine.add_source(rounds)
+    monitor = (
+        InvariantMonitor(controller, policy=invariants).attach(engine)
+        if invariants is not None
+        else None
+    )
     _trace.observe_engine(engine)
-    with _trace.span(
-        "sim.replay", n_links=len(traces_by_link), te_interval_s=te_interval_s
-    ) as sp:
-        engine.run()
-        if sp is not None:
-            sp.set(n_rounds=len(reports))
+    try:
+        with _trace.span(
+            "sim.replay", n_links=len(traces_by_link), te_interval_s=te_interval_s
+        ) as sp:
+            engine.run()
+            if sp is not None:
+                sp.set(n_rounds=len(reports))
+    finally:
+        if journal_dir is not None:
+            controller._journal.close()
+    if monitor is not None:
+        monitor.raise_if_fatal()
 
     return ReplayResult(
         times_s=np.asarray(times),

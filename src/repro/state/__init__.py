@@ -13,7 +13,10 @@ ring buffer of recent snapshots:
   trace points (:mod:`repro.state.store`);
 * :func:`structure_digest` / :func:`capacity_digest` /
   :func:`demand_digest` — the cache-key tuples
-  (:mod:`repro.state.digest`).
+  (:mod:`repro.state.digest`);
+* :func:`state_to_payload` / :func:`state_from_payload` and the
+  topology payload pair — the bit-exact JSON snapshots the durable
+  journal checkpoints (:mod:`repro.state.serialize`).
 
 Layering: this package sits *below* the controller and the simulators
 and imports neither (CI enforces the boundary).
@@ -28,6 +31,7 @@ from repro.state.delta import (
     StateDelta,
     apply_deltas,
     delta_counts,
+    delta_from_payload,
     delta_payload,
     diff,
 )
@@ -39,6 +43,12 @@ from repro.state.digest import (
     structure_digest,
 )
 from repro.state.model import MUTABLE_LINK_FIELDS, LinkState, NetworkState
+from repro.state.serialize import (
+    state_from_payload,
+    state_to_payload,
+    topology_from_payload,
+    topology_to_payload,
+)
 from repro.state.store import StateStore
 
 __all__ = [
@@ -57,8 +67,13 @@ __all__ = [
     "apply_deltas",
     "capacity_digest",
     "delta_counts",
+    "delta_from_payload",
     "delta_payload",
     "demand_digest",
     "diff",
+    "state_from_payload",
+    "state_to_payload",
     "structure_digest",
+    "topology_from_payload",
+    "topology_to_payload",
 ]

@@ -22,7 +22,7 @@ boundary or into ``state_timeline.jsonl`` instead of whole snapshots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Union
+from typing import Any, Mapping, Union
 
 from repro.state.model import MUTABLE_LINK_FIELDS, NetworkState
 
@@ -204,3 +204,27 @@ def delta_payload(delta: StateDelta) -> dict[str, Any]:
         if name != "link_id":
             payload[name] = value
     return payload
+
+
+_DELTA_TYPES: dict[str, type] = {
+    "capacity": CapacityDelta,
+    "dark": DarkDelta,
+    "modulation": ModulationDelta,
+    "bvt": BvtDelta,
+    "health": HealthDelta,
+}
+
+
+def delta_from_payload(payload: Mapping[str, Any]) -> StateDelta:
+    """The inverse of :func:`delta_payload`.
+
+    Floats survive the JSON round trip bit-for-bit (shortest-repr
+    serialization, NaN included), so a journaled delta replays through
+    :func:`apply_deltas` exactly like the in-memory original.
+    """
+    fields = dict(payload)
+    kind = fields.pop("kind", None)
+    cls = _DELTA_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown delta kind {kind!r} (valid: {sorted(_DELTA_TYPES)})")
+    return cls(**fields)

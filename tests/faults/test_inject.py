@@ -281,8 +281,8 @@ class TestStateLineages:
         assert feed is not injector.wrap_feed  # sanity: identity feed path
         for sample in TelemetryFeed(make_feed(n=8).traces_by_link).iter_samples():
             injector.record_sample(sample.index, sample.snr_db, sample.snr_db)
-        assert injector.observed_states.transitions == []
-        assert injector.truth_states.transitions == []
+        assert list(injector.observed_states.transitions) == []
+        assert list(injector.truth_states.transitions) == []
 
     def test_nan_dropout_is_one_divergence_not_many(self):
         spec = FaultSpec("telemetry.dropout", rate_per_day=50.0,

@@ -4,6 +4,8 @@ import pytest
 
 from repro.faults.spec import (
     BERNOULLI_KINDS,
+    CRASH_SEAMS,
+    DETERMINISTIC_KINDS,
     KINDS,
     WINDOWED_KINDS,
     FaultPlan,
@@ -109,5 +111,45 @@ class TestSerialization:
         assert all(s.rate_per_day == 0.0 and s.probability == 0.0
                    for s in plan.specs)
 
-    def test_kinds_cover_windowed_and_bernoulli(self):
-        assert set(KINDS) == set(WINDOWED_KINDS) | set(BERNOULLI_KINDS)
+    def test_kinds_partition_cleanly(self):
+        assert set(KINDS) == (
+            set(WINDOWED_KINDS) | set(BERNOULLI_KINDS) | set(DETERMINISTIC_KINDS)
+        )
+        assert not set(WINDOWED_KINDS) & set(BERNOULLI_KINDS)
+        assert not set(DETERMINISTIC_KINDS) & (
+            set(WINDOWED_KINDS) | set(BERNOULLI_KINDS)
+        )
+
+
+class TestCrashSpecs:
+    def test_defaults_are_valid(self):
+        spec = FaultSpec("controller.crash")
+        assert spec.crash_round == 0
+        assert spec.crash_seam == "post-commit"
+
+    def test_rate_and_probability_rejected(self):
+        with pytest.raises(ValueError, match="deterministic"):
+            FaultSpec("controller.crash", rate_per_day=1.0)
+        with pytest.raises(ValueError, match="deterministic"):
+            FaultSpec("controller.crash", probability=0.5)
+
+    def test_bad_seam_rejected(self):
+        with pytest.raises(ValueError, match="crash seam"):
+            FaultSpec("controller.crash", crash_seam="mid-lunch")
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError, match="crash_round"):
+            FaultSpec("controller.crash", crash_round=-1)
+
+    @pytest.mark.parametrize("seam", CRASH_SEAMS)
+    def test_round_trip_preserves_crash_fields(self, seam):
+        spec = FaultSpec("controller.crash", crash_round=5, crash_seam=seam)
+        data = spec.to_dict()
+        assert data["crash_round"] == 5 and data["crash_seam"] == seam
+        assert FaultSpec.from_dict(data) == spec
+
+    def test_scaling_leaves_crash_specs_unchanged(self):
+        spec = FaultSpec("controller.crash", crash_round=3, crash_seam="mid-write")
+        assert spec.scaled(10.0) == spec
+        plan = FaultPlan(specs=(spec,), seed=1).scaled(2.0)
+        assert plan.specs == (spec,)

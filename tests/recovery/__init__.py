@@ -1,0 +1,1 @@
+"""Tests for the crash-tolerance layer (repro.recovery)."""

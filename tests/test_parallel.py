@@ -1,0 +1,125 @@
+"""Tests for the shared pool machinery, including broken-pool recovery."""
+
+import os
+import signal
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro import parallel as parallel_mod
+from repro.obs import metrics as obs_metrics
+from repro.parallel import pool_map, process_pool_usable, resolve_workers
+
+
+def double(x):
+    return x * 2
+
+
+def kill_worker_once(item):
+    """SIGKILL the hosting worker the first time the bomb item runs.
+
+    ``item`` is ``(value, marker_path_or_None)``.  The marker file makes
+    the bomb single-shot: the thread-pool retry (which shares the test
+    process!) sees it and returns normally.
+    """
+    value, marker = item
+    if marker is not None and not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("armed")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2
+
+
+class _FakeFuture:
+    def __init__(self, value, broken=False):
+        self.value, self.broken = value, broken
+
+    def result(self):
+        if self.broken:
+            raise BrokenProcessPool("worker died")
+        return self.value
+
+
+class _DyingPool:
+    """Submits fine for a while, then every future is poisoned."""
+
+    def __init__(self, die_after):
+        self.die_after = die_after
+        self.n = 0
+
+    def submit(self, fn, item):
+        self.n += 1
+        if self.n > self.die_after:
+            return _FakeFuture(None, broken=True)
+        return _FakeFuture(fn(item))
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+class TestResolveWorkers:
+    def test_defers_to_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        monkeypatch.setenv("REPRO_WORKERS", "junk")
+        assert resolve_workers(None) == 1
+
+    def test_minimum_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-4) == 1
+
+
+class TestBrokenPoolFallback:
+    def test_fallback_preserves_order_and_results(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel_mod, "make_pool", lambda workers: _DyingPool(2)
+        )
+        out = list(pool_map(double, range(10), 2))
+        assert out == [x * 2 for x in range(10)]
+
+    def test_already_yielded_items_are_not_rerun(self, monkeypatch):
+        calls = []
+
+        def tracked(x):
+            calls.append(x)
+            return x
+
+        monkeypatch.setattr(
+            parallel_mod, "make_pool", lambda workers: _DyingPool(6)
+        )
+        out = list(pool_map(tracked, range(8), 2))
+        assert out == list(range(8))
+        # the fake pool evaluates at submit time, so the successfully
+        # yielded items must appear exactly once: only the two items
+        # whose futures broke went through the thread fallback
+        assert sorted(calls) == list(range(8))
+
+    def test_breakage_counts_in_metrics(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel_mod, "make_pool", lambda workers: _DyingPool(1)
+        )
+        with obs_metrics.isolated() as registry:
+            list(pool_map(double, range(4), 2))
+        assert registry.counters().get("parallel.broken_pool") == 1
+
+    def test_worker_exceptions_still_propagate(self, monkeypatch):
+        def boom(x):
+            raise RuntimeError("job failed")
+
+        monkeypatch.setattr(
+            parallel_mod, "make_pool", lambda workers: _DyingPool(99)
+        )
+        with pytest.raises(RuntimeError, match="job failed"):
+            list(pool_map(boom, range(2), 2))
+
+    @pytest.mark.skipif(
+        not process_pool_usable(), reason="host cannot fork process pools"
+    )
+    def test_real_sigkilled_worker_recovers(self, tmp_path):
+        marker = str(tmp_path / "bomb-armed")
+        items = [(i, marker if i == 3 else None) for i in range(6)]
+        out = list(pool_map(kill_worker_once, items, 2))
+        assert out == [i * 2 for i in range(6)]
