@@ -245,6 +245,26 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """`repro lint` — delegate to the analyzer's own front end."""
+    from repro.lint.cli import main as lint_main
+
+    argv: list[str] = list(args.lint_paths)
+    if args.explain:
+        argv = ["--explain", args.explain]
+    if args.strict:
+        argv.append("--strict")
+    if args.lint_format != "text":
+        argv.extend(["--format", args.lint_format])
+    if args.baseline != "lint-baseline.json":
+        argv.extend(["--baseline", args.baseline])
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.no_cache:
+        argv.append("--no-cache")
+    return lint_main(argv)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.paper_report import ReportScale, build_report
 
@@ -551,6 +571,34 @@ def build_parser() -> argparse.ArgumentParser:
     whatif.add_argument("--fallback-gbps", type=float, default=50.0)
     whatif.add_argument("--seed", type=int, default=2017)
     whatif.set_defaults(handler=_cmd_whatif)
+
+    lint = sub.add_parser(
+        "lint",
+        parents=[shared],
+        help="determinism & layering static analysis (repro.lint)",
+        description=(
+            "AST + import-graph analysis proving the determinism "
+            "contract: wall-clock/randomness/ordering/canonical-JSON "
+            "rules, layering (layers.toml), fingerprint closures, "
+            "trace-name catalog.  Exit 0 clean, 1 findings, 2 usage "
+            "error."
+        ),
+    )
+    lint.add_argument(
+        "lint_paths", nargs="*", metavar="PATH", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument("--strict", action="store_true",
+                      help="also fail on stale baseline entries and dead pragmas")
+    lint.add_argument("--format", dest="lint_format",
+                      choices=["text", "json"], default="text")
+    lint.add_argument("--baseline", default="lint-baseline.json",
+                      metavar="PATH", help="burn-down baseline file")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="rewrite the baseline from current findings")
+    lint.add_argument("--explain", metavar="CODE",
+                      help="print one rule's rationale and fix, then exit")
+    lint.set_defaults(handler=_cmd_lint)
 
     export = sub.add_parser(
         "export", parents=[shared], help="write per-figure CSV data"

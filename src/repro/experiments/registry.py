@@ -142,22 +142,99 @@ def render_result(experiment_name: str, metrics: Mapping[str, Any]) -> str:
 # The headline experiments
 # ---------------------------------------------------------------------------
 
-#: every artifact key also covers the registry itself and the spec layer
-_BASE_MODULES = ("repro.experiments.registry", "repro.experiments.spec", "repro.seeds")
+# Every experiment's artifact key covers the full *static import
+# closure* of its entry point — lint rule F001 proves each list closed
+# against the import graph, so a module can no longer change a result
+# without changing the key (PRs 7-8 hit exactly that drift by hand).
+# The nine closures all meet at the package re-export hubs (telemetry,
+# net, sim, engine, ...), so in practice they collapse to one shared
+# set, spelled out below grouped by package.  Presentation and
+# observability layers proven byte-inert are exempted in
+# ``repro/lint/layers.toml`` ``[fingerprint]`` rather than here.
 
-#: the event engine that hosts every simulator scenario; experiments
-#: that replay on it fingerprint the kernel too, so a dispatch-order
-#: change invalidates their artifacts like any other code edit
+_ANALYSIS_MODULES = (
+    "repro.analysis",
+    "repro.analysis.cdf",
+    "repro.analysis.figures",
+    "repro.analysis.margins",
+    "repro.analysis.report",
+)
+
+_BVT_MODULES = (
+    "repro.bvt",
+    "repro.bvt.dsp",
+    "repro.bvt.laser",
+    "repro.bvt.mdio",
+    "repro.bvt.testbed",
+    "repro.bvt.transceiver",
+)
+
+_CORE_MODULES = (
+    "repro.core",
+    "repro.core.augmentation",
+    "repro.core.capacity_planner",
+    "repro.core.controller",
+    "repro.core.gadgets",
+    "repro.core.penalties",
+    "repro.core.policies",
+    "repro.core.scheduler",
+    "repro.core.theorem",
+    "repro.core.translation",
+    "repro.core.updates",
+)
+
 _ENGINE_MODULES = (
+    "repro.engine",
     "repro.engine.clock",
     "repro.engine.kernel",
     "repro.engine.sources",
 )
 
-#: the immutable network-state layer every stateful scenario now flows
-#: through (controller transitions, scenario forks, TE cache keys); a
-#: change to the snapshot/diff semantics invalidates those artifacts
+_FAULTS_MODULES = (
+    "repro.faults.chaos",
+    "repro.faults.inject",
+    "repro.faults.spec",
+)
+
+_NET_MODULES = (
+    "repro.net",
+    "repro.net.demands",
+    "repro.net.paths",
+    "repro.net.plant",
+    "repro.net.srlg",
+    "repro.net.topologies",
+    "repro.net.topology",
+    "repro.net.validate",
+)
+
+_OPTICS_MODULES = (
+    "repro.optics.constellation",
+    "repro.optics.fiber",
+    "repro.optics.impairments",
+    "repro.optics.modulation",
+    "repro.optics.spectrum",
+    "repro.optics.units",
+)
+
+_RECOVERY_MODULES = (
+    "repro.recovery.invariants",
+    "repro.recovery.journal",
+    "repro.recovery.reports",
+)
+
+_SIM_MODULES = (
+    "repro.sim",
+    "repro.sim.availability",
+    "repro.sim.economics",
+    "repro.sim.network_availability",
+    "repro.sim.reactive",
+    "repro.sim.replay",
+    "repro.sim.throughput",
+    "repro.sim.whatif",
+)
+
 _STATE_MODULES = (
+    "repro.state",
     "repro.state.delta",
     "repro.state.digest",
     "repro.state.model",
@@ -165,14 +242,59 @@ _STATE_MODULES = (
     "repro.state.store",
 )
 
-#: the crash-tolerance layer (journal, recovery, invariants); the
-#: simulators import it unconditionally, so experiments that replay on
-#: them fingerprint it too even though ``journal_dir=None`` runs are
-#: byte-identical to pre-journal ones
-_RECOVERY_MODULES = (
-    "repro.recovery.invariants",
-    "repro.recovery.journal",
-    "repro.recovery.reports",
+_TE_MODULES = (
+    "repro.te.incremental",
+    "repro.te.lp",
+    "repro.te.maxflow",
+    "repro.te.solution",
+)
+
+_TELEMETRY_MODULES = (
+    "repro.telemetry",
+    "repro.telemetry.anomaly",
+    "repro.telemetry.cache",
+    "repro.telemetry.dataset",
+    "repro.telemetry.events",
+    "repro.telemetry.hdr",
+    "repro.telemetry.io",
+    "repro.telemetry.stats",
+    "repro.telemetry.timebase",
+    "repro.telemetry.traces",
+)
+
+_TICKETS_MODULES = (
+    "repro.tickets",
+    "repro.tickets.analysis",
+    "repro.tickets.correlate",
+    "repro.tickets.generator",
+    "repro.tickets.model",
+    "repro.tickets.mttr",
+)
+
+_BASE_MODULES = (
+    "repro.experiments.registry",
+    "repro.experiments.spec",
+    "repro.fingerprint",
+    "repro.parallel",
+    "repro.seeds",
+)
+
+#: the one closed fingerprint set shared by all registered experiments
+_FINGERPRINT_MODULES = (
+    _ANALYSIS_MODULES
+    + _BASE_MODULES
+    + _BVT_MODULES
+    + _CORE_MODULES
+    + _ENGINE_MODULES
+    + _FAULTS_MODULES
+    + _NET_MODULES
+    + _OPTICS_MODULES
+    + _RECOVERY_MODULES
+    + _SIM_MODULES
+    + _STATE_MODULES
+    + _TE_MODULES
+    + _TELEMETRY_MODULES
+    + _TICKETS_MODULES
 )
 
 
@@ -228,19 +350,7 @@ register(
         description="Section-2 telemetry study (Figures 2a/2b/4c)",
         run=_run_study,
         defaults=(("cables", 14), ("years", 1.0), ("seed", 2017)),
-        modules=_BASE_MODULES
-        + (
-            "repro.analysis.figures",
-            "repro.optics.fiber",
-            "repro.optics.impairments",
-            "repro.optics.modulation",
-            "repro.telemetry.dataset",
-            "repro.telemetry.events",
-            "repro.telemetry.hdr",
-            "repro.telemetry.stats",
-            "repro.telemetry.timebase",
-            "repro.telemetry.traces",
-        ),
+        modules=_FINGERPRINT_MODULES,
         render=_render_study,
     )
 )
@@ -275,16 +385,7 @@ register(
         description="Figure-6b BVT modulation-change experiment",
         run=_run_testbed,
         defaults=(("changes", 200), ("seed", 68)),
-        modules=_BASE_MODULES
-        + _ENGINE_MODULES
-        + (
-            "repro.bvt.testbed",
-            "repro.bvt.transceiver",
-            "repro.bvt.laser",
-            "repro.bvt.dsp",
-            "repro.optics.constellation",
-            "repro.optics.modulation",
-        ),
+        modules=_FINGERPRINT_MODULES,
         render=_render_testbed,
     )
 )
@@ -325,13 +426,7 @@ register(
         description="Figure-4 root-cause shares of the ticket corpus",
         run=_run_tickets,
         defaults=(("seed", 2017),),
-        modules=_BASE_MODULES
-        + (
-            "repro.optics.impairments",
-            "repro.tickets.analysis",
-            "repro.tickets.generator",
-            "repro.tickets.model",
-        ),
+        modules=_FINGERPRINT_MODULES,
         render=_render_tickets,
     )
 )
@@ -395,15 +490,7 @@ register(
             ("scales", (0.5, 1.0, 2.0)),
             ("seed", 1),
         ),
-        modules=_BASE_MODULES
-        + (
-            "repro.core.augmentation",
-            "repro.net.demands",
-            "repro.net.topologies",
-            "repro.optics.modulation",
-            "repro.sim.throughput",
-            "repro.te.lp",
-        ),
+        modules=_FINGERPRINT_MODULES,
         render=_render_throughput,
     )
 )
@@ -448,18 +535,7 @@ register(
         description="binary failures vs dynamic capacity flaps",
         run=_run_availability,
         defaults=(("cables", 10), ("years", 1.0), ("seed", 42)),
-        modules=_BASE_MODULES
-        + (
-            "repro.optics.fiber",
-            "repro.optics.impairments",
-            "repro.optics.modulation",
-            "repro.sim.availability",
-            "repro.telemetry.dataset",
-            "repro.telemetry.events",
-            "repro.telemetry.stats",
-            "repro.telemetry.timebase",
-            "repro.telemetry.traces",
-        ),
+        modules=_FINGERPRINT_MODULES,
         render=_render_availability,
     )
 )
@@ -508,14 +584,7 @@ register(
         description="Theorem-1 equivalence check on a random WAN",
         run=_run_theorem,
         defaults=(("nodes", 8), ("penalty", 100.0), ("seed", 0)),
-        modules=_BASE_MODULES
-        + (
-            "repro.core.augmentation",
-            "repro.core.penalties",
-            "repro.core.theorem",
-            "repro.net.topologies",
-            "repro.te.maxflow",
-        ),
+        modules=_FINGERPRINT_MODULES,
         render=_render_theorem,
     )
 )
@@ -601,21 +670,7 @@ register(
             ("fallback_gbps", 50.0),
             ("seed", 2017),
         ),
-        modules=_BASE_MODULES
-        + _ENGINE_MODULES
-        + _STATE_MODULES
-        + (
-            "repro.net.demands",
-            "repro.net.srlg",
-            "repro.net.topologies",
-            "repro.optics.modulation",
-            "repro.parallel",
-            "repro.sim.whatif",
-            "repro.te.incremental",
-            "repro.te.lp",
-            "repro.tickets.generator",
-            "repro.tickets.model",
-        ),
+        modules=_FINGERPRINT_MODULES,
         render=_render_whatif,
     )
 )
@@ -768,28 +823,7 @@ register(
             ("te_interval_h", 4.0),
             ("retries", 3),
         ),
-        modules=_BASE_MODULES
-        + _ENGINE_MODULES
-        + _STATE_MODULES
-        + _RECOVERY_MODULES
-        + (
-            "repro.bvt.transceiver",
-            "repro.core.controller",
-            "repro.core.policies",
-            "repro.faults.chaos",
-            "repro.faults.inject",
-            "repro.faults.spec",
-            "repro.net.demands",
-            "repro.net.topologies",
-            "repro.optics.impairments",
-            "repro.optics.modulation",
-            "repro.sim.replay",
-            "repro.te.incremental",
-            "repro.te.lp",
-            "repro.te.solution",
-            "repro.telemetry.timebase",
-            "repro.telemetry.traces",
-        ),
+        modules=_FINGERPRINT_MODULES,
         render=_render_chaos,
     )
 )
@@ -811,24 +845,7 @@ register(
             ("dip_db", 10.0),
             ("dip_hours", 6.0),
         ),
-        modules=_BASE_MODULES
-        + _ENGINE_MODULES
-        + _STATE_MODULES
-        + _RECOVERY_MODULES
-        + (
-            "repro.core.controller",
-            "repro.core.policies",
-            "repro.net.demands",
-            "repro.net.topologies",
-            "repro.optics.impairments",
-            "repro.optics.modulation",
-            "repro.sim.reactive",
-            "repro.te.incremental",
-            "repro.te.lp",
-            "repro.telemetry.anomaly",
-            "repro.telemetry.timebase",
-            "repro.telemetry.traces",
-        ),
+        modules=_FINGERPRINT_MODULES,
         render=_render_reactive,
     )
 )

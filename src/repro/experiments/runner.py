@@ -106,6 +106,7 @@ def _execute_point(payload: dict[str, Any]) -> dict[str, Any]:
     spec = ScenarioSpec.from_payload(payload["spec"])
     context = ExecutionContext(**payload["context"])
     tracer = obs_trace.Tracer() if payload.get("trace") else None
+    # repro: allow[D001] -- elapsed_s is operational metadata, never keyed
     start = time.perf_counter()
     try:
         with perf.isolated() as registry:
@@ -121,7 +122,7 @@ def _execute_point(payload: dict[str, Any]) -> dict[str, Any]:
             "result": result,
             "perf": registry.collect(),
             "metrics": registry.metrics.to_payload(),
-            "elapsed_s": time.perf_counter() - start,
+            "elapsed_s": time.perf_counter() - start,  # repro: allow[D001]
             "created_unix": obs_metrics.timestamp_unix(),
         }
         if tracer is not None:
@@ -132,7 +133,7 @@ def _execute_point(payload: dict[str, Any]) -> dict[str, Any]:
             "spec": spec.to_payload(),
             "experiment": spec.experiment,
             "error": traceback.format_exc(),
-            "elapsed_s": time.perf_counter() - start,
+            "elapsed_s": time.perf_counter() - start,  # repro: allow[D001]
             "created_unix": obs_metrics.timestamp_unix(),
         }
 

@@ -253,6 +253,7 @@ def _toml_value(value: Any) -> str:
     if isinstance(value, (int, float)):
         return repr(value)
     if isinstance(value, str):
+        # repro: allow[D004] -- scalar string escaping, no dict ordering
         return json.dumps(value)
     if isinstance(value, (list, tuple)):
         return "[" + ", ".join(_toml_value(v) for v in value) + "]"
@@ -276,5 +277,5 @@ def save_sweep(path: str | Path, sweep: Sweep) -> Path:
                 ]
         path.write_text("\n".join(lines) + "\n")
     else:
-        path.write_text(json.dumps(payload, indent=2) + "\n")
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

@@ -138,7 +138,9 @@ class RunStore:
                     f"use a fresh run directory"
                 )
             return
-        _atomic_write(self.sweep_path, json.dumps(payload, indent=2) + "\n")
+        _atomic_write(
+            self.sweep_path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
     def load_sweep(self) -> Sweep:
         payload = json.loads(self.sweep_path.read_text())
@@ -177,7 +179,7 @@ class RunStore:
     def save_artifact(self, key: str, payload: dict[str, Any]) -> Path:
         path = self.artifact_path(key)
         payload = {**payload, "schema": _SCHEMA, "key": key}
-        _atomic_write(path, json.dumps(payload, indent=2) + "\n")
+        _atomic_write(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
         return path
 
     def artifacts(self) -> list[dict[str, Any]]:

@@ -1,0 +1,109 @@
+"""The committed burn-down baseline (``lint-baseline.json``).
+
+A baseline entry acknowledges one pre-existing finding without fixing
+it: the finding stops failing the gate but stays visible (reported in
+the suppressed count and in ``--format json``).  Entries match on
+``(path, code, message)`` — deliberately *not* on line numbers, so
+unrelated edits above a finding do not churn the file — and carry the
+line only as a human hint.
+
+Strict mode turns stale entries (no longer matching any finding) into
+**B001** findings: paid-off debt must leave the ledger, otherwise a
+regression of the same finding would be silently re-absorbed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.model import RULES, Finding
+
+SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Baseline:
+    path: Path | None
+    #: (path, code, message) keys acknowledged by the committed file
+    entries: tuple[tuple[str, str, str], ...]
+
+    @staticmethod
+    def key(finding: Finding) -> tuple[str, str, str]:
+        return (finding.path, finding.code, finding.message)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return self.key(finding) in set(self.entries)
+
+
+def load_baseline(path: Path | None) -> Baseline:
+    if path is None or not path.exists():
+        return Baseline(path=path, entries=())
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unsupported baseline schema {payload.get('schema')!r} in {path}"
+        )
+    entries = tuple(
+        (e["path"], e["code"], e["message"]) for e in payload["findings"]
+    )
+    return Baseline(path=path, entries=entries)
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Serialize ``findings`` as the new baseline (sorted, canonical)."""
+    payload = {
+        "schema": SCHEMA,
+        "findings": [
+            {
+                "path": f.path,
+                "code": f.code,
+                "message": f.message,
+                "line": f.line,
+            }
+            for f in sorted(findings)
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=1) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Baseline, *, strict: bool
+) -> tuple[list[Finding], list[Finding], list[Finding]]:
+    """Partition into (active, baselined, stale-entry findings).
+
+    The third list is non-empty only in strict mode: one **B001**
+    finding per baseline entry that matched nothing this run.
+    """
+    keys = set(baseline.entries)
+    active: list[Finding] = []
+    baselined: list[Finding] = []
+    matched: set[tuple[str, str, str]] = set()
+    for finding in findings:
+        key = Baseline.key(finding)
+        if key in keys:
+            baselined.append(finding)
+            matched.add(key)
+        else:
+            active.append(finding)
+    stale: list[Finding] = []
+    if strict:
+        for path, code, message in sorted(keys - matched):
+            stale.append(
+                Finding(
+                    path=str(baseline.path) if baseline.path else "lint-baseline.json",
+                    line=1,
+                    col=1,
+                    code="B001",
+                    message=(
+                        f"stale baseline entry {code} for {path}: "
+                        f"{message!r} no longer matches any finding"
+                    ),
+                    hint=RULES["B001"].hint,
+                )
+            )
+    return active, baselined, stale

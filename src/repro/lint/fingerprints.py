@@ -1,0 +1,161 @@
+"""F001: artifact-fingerprint module lists must cover the import closure.
+
+Every registered experiment declares ``modules=`` — the source files
+whose bytes are hashed into its artifact key (see
+:func:`repro.experiments.registry.spec_key`).  The declaration is only
+honest if it is *closed*: any repro-internal module statically reachable
+from the declared modules (or from the lazy imports inside the
+experiment's ``run`` function) can change the result without changing
+the key when it is left out.  PRs 7-8 hit exactly this — ``_STATE_MODULES``
+and ``_RECOVERY_MODULES`` had to be appended by hand after refactors.
+
+The check is fully static: the registry's AST is constant-folded (the
+``_*_MODULES`` tuple constants and their ``+`` concatenations), the
+``run=`` callee's body is scanned for imports, and the closure is taken
+over the same :class:`~repro.lint.imports.ImportGraph` the layering
+rules use.  Modules listed under ``[fingerprint].exempt`` in
+``layers.toml`` (observability and presentation layers proven
+byte-inert) are not required.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.imports import ImportGraph
+from repro.lint.model import RULES, Finding
+
+REGISTRY_MODULE = "repro.experiments.registry"
+
+
+def _fold_modules(
+    node: ast.expr, constants: dict[str, tuple[str, ...]]
+) -> tuple[str, ...]:
+    """Evaluate a ``modules=`` expression of names, tuples and ``+``."""
+    if isinstance(node, ast.Name):
+        return constants.get(node.id, ())
+    if isinstance(node, ast.Tuple):
+        return tuple(
+            e.value
+            for e in node.elts
+            if isinstance(e, ast.Constant) and isinstance(e.value, str)
+        )
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return _fold_modules(node.left, constants) + _fold_modules(
+            node.right, constants
+        )
+    return ()
+
+
+def _body_imports(
+    fn: ast.FunctionDef, universe: set[str], top: str
+) -> set[str]:
+    """repro-internal modules imported anywhere inside ``fn``."""
+    prefix = top + "."
+    found: set[str] = set()
+
+    def record(target: str) -> None:
+        while target and target not in universe:
+            target = target.rpartition(".")[0]
+        if target:
+            found.add(target)
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == top or alias.name.startswith(prefix):
+                    record(alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            if node.module == top or node.module.startswith(prefix):
+                for alias in node.names:
+                    candidate = f"{node.module}.{alias.name}"
+                    record(candidate if candidate in universe else node.module)
+    return found
+
+
+def _is_exempt(module: str, exempt: tuple[str, ...]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in exempt)
+
+
+def check_fingerprints(
+    graph: ImportGraph,
+    registry_path: Path,
+    relpath: str,
+    exempt: tuple[str, ...],
+) -> list[Finding]:
+    """F001 over every experiment registered in ``registry_path``."""
+    tree = ast.parse(registry_path.read_text(encoding="utf-8"))
+    top = next(iter(graph.modules), "repro").split(".")[0]
+    universe = set(graph.modules)
+    constants: dict[str, tuple[str, ...]] = {}
+    functions: dict[str, ast.FunctionDef] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                values = _fold_modules(node.value, constants)
+                if values:
+                    constants[target.id] = values
+        elif isinstance(node, ast.FunctionDef):
+            functions[node.name] = node
+
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "register"
+            and node.args
+            and isinstance(node.args[0], ast.Call)
+        ):
+            continue
+        kwargs = {k.arg: k.value for k in node.args[0].keywords if k.arg}
+        name_node = kwargs.get("name")
+        modules_node = kwargs.get("modules")
+        run_node = kwargs.get("run")
+        if not (isinstance(name_node, ast.Constant) and modules_node is not None):
+            continue
+        name = str(name_node.value)
+        declared = set(_fold_modules(modules_node, constants))
+        roots = set(declared)
+        if isinstance(run_node, ast.Name) and run_node.id in functions:
+            roots.update(_body_imports(functions[run_node.id], universe, top))
+        for module in sorted(m for m in declared if m not in universe):
+            findings.append(
+                Finding(
+                    path=relpath,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    code="F001",
+                    message=(
+                        f"experiment {name!r} declares fingerprint module "
+                        f"{module!r} which does not exist in the source tree"
+                    ),
+                    hint=RULES["F001"].hint,
+                )
+            )
+        required = {
+            m
+            for m in graph.closure(roots & universe)
+            if not _is_exempt(m, exempt)
+        }
+        missing = sorted(required - declared)
+        if missing:
+            shown = ", ".join(missing[:6]) + (
+                f" (+{len(missing) - 6} more)" if len(missing) > 6 else ""
+            )
+            findings.append(
+                Finding(
+                    path=relpath,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    code="F001",
+                    message=(
+                        f"experiment {name!r} fingerprint list misses "
+                        f"{len(missing)} reachable module(s): {shown}"
+                    ),
+                    hint=RULES["F001"].hint,
+                )
+            )
+    return sorted(findings)

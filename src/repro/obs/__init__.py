@@ -25,7 +25,7 @@ or, from the CLI, ``repro --trace out/obs replay ...`` (also via the
 ``REPRO_TRACE`` environment variable).
 """
 
-from . import export, metrics, trace
+from . import export, metrics, names, trace
 from .export import (
     chrome_trace,
     events_jsonl,
@@ -41,6 +41,7 @@ from .metrics import (
     MetricsRegistry,
     timestamp_unix,
 )
+from .names import CATALOG, describe
 from .trace import (
     PointEvent,
     Span,
@@ -52,6 +53,7 @@ from .trace import (
 )
 
 __all__ = [
+    "CATALOG",
     "DEFAULT_BUCKETS",
     "MetricsRegistry",
     "PointEvent",
@@ -59,10 +61,12 @@ __all__ = [
     "Tracer",
     "chrome_trace",
     "current_tracer",
+    "describe",
     "events_jsonl",
     "export",
     "export_run",
     "metrics",
+    "names",
     "point",
     "prometheus_text",
     "run_summary",

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Any
 
 from .metrics import MetricsRegistry, timestamp_unix
+from .names import describe
 from .trace import Tracer
 
 #: pid of the simulated-time track in the Chrome trace
@@ -201,22 +202,27 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     lines: list[str] = []
     typed: set[str] = set()
 
-    def declare(name: str, kind: str) -> None:
+    def declare(name: str, kind: str, source: str | None = None) -> None:
         if name not in typed:
             typed.add(name)
+            # HELP text comes from the central catalog (repro.obs.names)
+            # so exposition and documentation cannot drift
+            help_text = describe(source) if source else None
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} {kind}")
 
     for (name, key), counter in sorted(registry._counters.items()):
         pname = _prom_name(name)
-        declare(pname, "counter")
+        declare(pname, "counter", name)
         lines.append(f"{pname}{_prom_labels(key)} {_fmt(counter.value)}")
     for (name, key), gauge in sorted(registry._gauges.items()):
         pname = _prom_name(name)
-        declare(pname, "gauge")
+        declare(pname, "gauge", name)
         lines.append(f"{pname}{_prom_labels(key)} {_fmt(gauge.value)}")
     for (name, key), hist in sorted(registry._histograms.items()):
         pname = _prom_name(name)
-        declare(pname, "histogram")
+        declare(pname, "histogram", name)
         cumulative = 0
         for bound, count in zip(hist.buckets, hist.counts):
             cumulative += count
@@ -229,7 +235,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     for (name, key), summary in sorted(registry._summaries.items()):
         pname = _prom_name(name)
         labels = _prom_labels(key)
-        declare(f"{pname}_seconds", "summary")
+        declare(f"{pname}_seconds", "summary", name)
         lines.append(f"{pname}_seconds_count{labels} {summary.count}")
         lines.append(f"{pname}_seconds_sum{labels} {_fmt(summary.total_s)}")
         declare(f"{pname}_seconds_min", "gauge")

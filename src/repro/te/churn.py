@@ -58,7 +58,7 @@ def solution_churn(
             )
         link_ids = set(a.edge_flows) | set(b.edge_flows)
         demand_moved = False
-        for link_id in link_ids:
+        for link_id in sorted(link_ids):
             rate_a = a.edge_flows.get(link_id, 0.0)
             rate_b = b.edge_flows.get(link_id, 0.0)
             delta = abs(rate_b - rate_a)

@@ -142,7 +142,7 @@ def save_summaries(path: str | Path, summaries: Sequence[LinkSummary]) -> Path:
         "n_links": len(summaries),
         "summaries": [_summary_to_dict(s) for s in summaries],
     }
-    path.write_text(json.dumps(document))
+    path.write_text(json.dumps(document, sort_keys=True))
     return path
 
 

@@ -1,0 +1,6 @@
+"""Rule-trigger snippets for the :mod:`repro.lint` tests.
+
+Each module here is *data*, not code under test: the tests parse these
+files and assert the analyzer reports exactly the marked findings.
+None of them is imported at runtime.
+"""

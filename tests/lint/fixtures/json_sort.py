@@ -1,0 +1,9 @@
+"""D004 fixture: canonical-JSON discipline in serialization modules."""
+
+import json
+
+
+def save(payload: dict) -> str:
+    good = json.dumps(payload, sort_keys=True)
+    bad = json.dumps(payload)  # line 8: D004
+    return good + bad

@@ -1,0 +1,17 @@
+"""T001 fixture: observability names against a toy catalog."""
+
+
+def span(name: str) -> str:
+    return name
+
+
+def point(name: str) -> str:
+    return name
+
+
+def emit() -> None:
+    span("demo.region")  # declared in the fixture catalog
+    span("Demo.Region")  # line 14: T001 (not dotted lowercase)
+    point("demo.unknown")  # line 15: T001 (not in the catalog)
+    point("plain message, not a name")  # ignored: not name-shaped
+    span("nodots")  # ignored: no dot, outside the convention's domain

@@ -1,0 +1,9 @@
+"""P001 fixture: a docstring pragma example plus one dead pragma.
+
+A quoted ``# repro: allow[D001]`` like this one is documentation, not
+suppression — only real comment tokens count.
+"""
+
+
+def clean() -> int:
+    return 0  # repro: allow[D004] -- dead pragma, P001 in strict mode

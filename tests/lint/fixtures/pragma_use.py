@@ -1,0 +1,11 @@
+"""Pragma fixture: inline and comment-line suppression of D003."""
+
+
+def tally() -> int:
+    total = 0
+    for item in {"a", "b"}:  # repro: allow[D003] -- fixture inline pragma
+        total += len(item)
+    # repro: allow[D003] -- comment-line pragma covers the loop below
+    for item in {"c", "d"}:
+        total += len(item)
+    return total

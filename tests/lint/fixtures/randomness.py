@@ -1,0 +1,12 @@
+"""D002 fixture: process-global draws vs component-keyed generators."""
+
+import random
+
+import numpy as np
+
+
+def draw(seed: int) -> float:
+    ok = np.random.default_rng(seed)  # allowed: explicit generator
+    bad1 = random.random()  # line 10: D002
+    bad2 = np.random.rand()  # line 11: D002
+    return ok.random() + bad1 + bad2

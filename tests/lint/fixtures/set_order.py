@@ -1,0 +1,16 @@
+"""D003 fixture: unsorted set / dict.keys() iteration."""
+
+
+def churn(flows_a: dict[str, float], flows_b: dict[str, float]) -> float:
+    total = 0.0
+    links = set(flows_a) | set(flows_b)
+    for link in links:  # line 7: D003 (name bound to a set expression)
+        total += abs(flows_a.get(link, 0.0) - flows_b.get(link, 0.0))
+    for link in sorted(links):  # allowed: sorted
+        total += 0.0
+    for key in flows_a.keys():  # line 11: D003 (dict.keys())
+        total += flows_a[key]
+    for key in sorted(flows_a):  # allowed
+        total += flows_a[key]
+    doubled = [2 * n for n in {1, 2, 3}]  # line 15: D003 (set literal)
+    return total + len(doubled)

@@ -1,0 +1,16 @@
+"""D001 fixture: every style of wall-clock read the rule must catch."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp() -> tuple[float, float, float]:
+    t0 = time.time()  # line 9: D001
+    t1 = perf_counter()  # line 10: D001
+    t2 = datetime.now().timestamp()  # line 11: D001
+    return t0, t1, t2
+
+
+def clean(clock: float) -> float:
+    return clock + 1.0

@@ -1,0 +1,75 @@
+"""Baseline round-trip, line-number independence and B001 staleness."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    Baseline,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.model import Finding
+
+
+def finding(path="src/x.py", line=10, code="D003", message="unsorted set"):
+    return Finding(path=path, line=line, col=1, code=code, message=message)
+
+
+class TestRoundTrip:
+    def test_write_then_load_preserves_keys(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        write_baseline(path, [finding(), finding(code="D004", message="m2")])
+        baseline = load_baseline(path)
+        assert len(baseline.entries) == 2
+        assert finding() in baseline
+        assert finding(code="D004", message="m2") in baseline
+
+    def test_written_file_is_canonical_json(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        write_baseline(path, [finding()])
+        text = path.read_text()
+        payload = json.loads(text)
+        assert text == json.dumps(payload, sort_keys=True, indent=1) + "\n"
+        assert payload["schema"] == 1
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        baseline = load_baseline(tmp_path / "absent.json")
+        assert baseline.entries == ()
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(json.dumps({"schema": 99, "findings": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(path)
+
+
+class TestApply:
+    def test_matches_ignore_line_numbers(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        write_baseline(path, [finding(line=10)])
+        baseline = load_baseline(path)
+        moved = finding(line=99)  # same (path, code, message), new line
+        active, baselined, stale = apply_baseline(
+            [moved], baseline, strict=True
+        )
+        assert active == []
+        assert baselined == [moved]
+        assert stale == []
+
+    def test_stale_entry_surfaces_b001_in_strict(self):
+        baseline = Baseline(
+            path=None, entries=(("src/gone.py", "D004", "paid off"),)
+        )
+        active, baselined, stale = apply_baseline([], baseline, strict=True)
+        assert active == [] and baselined == []
+        assert [f.code for f in stale] == ["B001"]
+        assert "paid off" in stale[0].message
+
+    def test_stale_entry_silent_without_strict(self):
+        baseline = Baseline(
+            path=None, entries=(("src/gone.py", "D004", "paid off"),)
+        )
+        _, _, stale = apply_baseline([], baseline, strict=False)
+        assert stale == []

@@ -1,0 +1,124 @@
+"""F001: fingerprint lists against the static import closure."""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint.fingerprints import check_fingerprints
+from repro.lint.imports import build_import_graph
+
+
+def make_pkg(root, registry_source, extra=None):
+    files = {
+        "pkg/__init__.py": "",
+        "pkg/experiments/__init__.py": "",
+        "pkg/experiments/registry.py": textwrap.dedent(registry_source),
+        "pkg/util.py": "from pkg.leaf import X\n\nhelper = X\n",
+        "pkg/leaf.py": "X = 1\n",
+    }
+    files.update(extra or {})
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return root / "pkg"
+
+
+INCOMPLETE = """
+    _BASE = (
+        "pkg.experiments.registry",
+    )
+
+
+    def _run_demo(ctx):
+        from pkg.util import helper
+
+        return {"ok": helper}
+
+
+    register(
+        Experiment(
+            name="demo",
+            run=_run_demo,
+            modules=_BASE + ("pkg.ghost",),
+        )
+    )
+"""
+
+CLOSED = """
+    _A = (
+        "pkg.experiments.registry",
+    )
+    _B = (
+        "pkg.leaf",
+        "pkg.util",
+    )
+    _ALL = _A + _B
+
+
+    def _run_demo(ctx):
+        from pkg.util import helper
+
+        return {"ok": helper}
+
+
+    register(
+        Experiment(
+            name="demo",
+            run=_run_demo,
+            modules=_ALL,
+        )
+    )
+"""
+
+
+def run_check(tmp_path, source, exempt=()):
+    pkg = make_pkg(tmp_path, source)
+    graph = build_import_graph(pkg)
+    registry = pkg / "experiments" / "registry.py"
+    return check_fingerprints(graph, registry, "registry.py", exempt)
+
+
+class TestCheckFingerprints:
+    def test_incomplete_list_and_ghost_module(self, tmp_path):
+        findings = run_check(tmp_path, INCOMPLETE)
+        assert [f.code for f in findings] == ["F001", "F001"]
+        by_message = {f.message for f in findings}
+        assert any("pkg.ghost" in m and "does not exist" in m for m in by_message)
+        # the run-body import of pkg.util drags in pkg.leaf transitively
+        assert any(
+            "misses 2 reachable module(s)" in m
+            and "pkg.leaf" in m
+            and "pkg.util" in m
+            for m in by_message
+        )
+
+    def test_closed_list_via_folded_concatenation(self, tmp_path):
+        assert run_check(tmp_path, CLOSED) == []
+
+    def test_exempt_prefix_drops_requirement(self, tmp_path):
+        findings = run_check(tmp_path, INCOMPLETE, exempt=("pkg.util",))
+        missing = [f for f in findings if "misses" in f.message]
+        # pkg.util is exempt but pkg.leaf (reached through it) is not
+        assert len(missing) == 1
+        assert "misses 1 reachable module(s)" in missing[0].message
+        assert "pkg.leaf" in missing[0].message
+
+
+class TestRealRegistry:
+    def test_shipping_registry_is_f001_clean(self):
+        from repro.lint.layers import load_contract
+
+        repo = Path(__file__).resolve().parents[2]
+        src_repro = repo / "src" / "repro"
+        graph = build_import_graph(src_repro)
+        registry = src_repro / "experiments" / "registry.py"
+        contract = load_contract()
+        assert (
+            check_fingerprints(
+                graph,
+                registry,
+                "src/repro/experiments/registry.py",
+                contract.fingerprint_exempt,
+            )
+            == []
+        )

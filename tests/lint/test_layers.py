@@ -1,0 +1,118 @@
+"""Layering rules over synthetic package trees and the real contract."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.imports import build_import_graph
+from repro.lint.layers import (
+    DEFAULT_CONTRACT,
+    LayerContract,
+    LayerRule,
+    _parse_toml_minimal,
+    check_layers,
+    load_contract,
+)
+
+
+def make_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return root / "pkg"
+
+
+CONTRACT = LayerContract(
+    rules=(
+        LayerRule(
+            code="L001",
+            title="state must not import the simulators",
+            scope=("pkg.state",),
+            forbid=("pkg.sim",),
+        ),
+    ),
+    fingerprint_exempt=(),
+)
+
+
+class TestCheckLayers:
+    def test_transitive_violation_with_chain(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/state/__init__.py": "",
+                "pkg/state/model.py": "from pkg.util import helper\n",
+                "pkg/util.py": "from pkg.sim import run\n\nhelper = run\n",
+                "pkg/sim.py": "def run():\n    return None\n",
+            },
+        )
+        graph = build_import_graph(pkg)
+        relpath = {m: p.name for m, p in graph.files.items()}
+        findings = check_layers(graph, CONTRACT, relpath)
+        assert [f.code for f in findings] == ["L001"]
+        assert findings[0].line == 1  # the direct import starting the chain
+        assert (
+            "via pkg.state.model -> pkg.util -> pkg.sim"
+            in findings[0].message
+        )
+
+    def test_lazy_function_body_import_still_counts(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/state/__init__.py": "",
+                "pkg/state/model.py": (
+                    "def load():\n    from pkg import sim\n    return sim\n"
+                ),
+                "pkg/sim.py": "",
+            },
+        )
+        graph = build_import_graph(pkg)
+        findings = check_layers(graph, CONTRACT, {})
+        assert [f.code for f in findings] == ["L001"]
+        assert findings[0].line == 2
+
+    def test_clean_tree_has_no_findings(self, tmp_path):
+        pkg = make_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/state/__init__.py": "",
+                "pkg/state/model.py": "VALUE = 1\n",
+                "pkg/sim.py": "from pkg.state import model\n",
+            },
+        )
+        graph = build_import_graph(pkg)
+        # sim -> state is allowed; only state -> sim is forbidden
+        assert check_layers(graph, CONTRACT, {}) == []
+
+
+class TestContractFile:
+    def test_real_contract_loads(self):
+        contract = load_contract()
+        codes = {rule.code for rule in contract.rules}
+        assert codes == {"L001", "L002", "L003"}
+        assert "repro.obs" in contract.fingerprint_exempt
+
+    def test_minimal_parser_agrees_with_tomllib(self):
+        tomllib = pytest.importorskip("tomllib")  # absent on Python 3.10
+        text = DEFAULT_CONTRACT.read_text(encoding="utf-8")
+        assert _parse_toml_minimal(text) == tomllib.loads(text)
+
+    def test_minimal_parser_alone_yields_the_same_contract(self, tmp_path):
+        # what the 3.10 lane actually runs: contract loaded through the
+        # restricted parser must equal the tomllib-loaded one
+        payload = _parse_toml_minimal(
+            DEFAULT_CONTRACT.read_text(encoding="utf-8")
+        )
+        contract = load_contract()
+        assert tuple(r["code"] for r in payload["rules"]) == tuple(
+            r.code for r in contract.rules
+        )
+        assert (
+            tuple(payload["fingerprint"]["exempt"])
+            == contract.fingerprint_exempt
+        )

@@ -1,0 +1,57 @@
+"""Pragma parsing and suppression semantics."""
+
+import ast
+from pathlib import Path
+
+from repro.lint.model import parse_pragmas, split_suppressed
+from repro.lint.rules import RuleConfig, check_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestParsePragmas:
+    def test_inline_and_comment_line(self):
+        source = (FIXTURES / "pragma_use.py").read_text(encoding="utf-8")
+        pragmas = parse_pragmas(source)
+        assert pragmas[6] == {"D003"}  # inline: covers its own line
+        assert pragmas[8] == {"D003"}  # comment line covers itself...
+        assert pragmas[9] == {"D003"}  # ...and the next line
+
+    def test_docstring_pragma_is_not_a_pragma(self):
+        source = (FIXTURES / "pragma_dead.py").read_text(encoding="utf-8")
+        pragmas = parse_pragmas(source)
+        # only the real comment on the return line parses
+        assert set(pragmas) == {9}
+        assert pragmas[9] == {"D004"}
+
+    def test_multi_code_pragma(self):
+        pragmas = parse_pragmas("x = 1  # repro: allow[D001, D003]\n")
+        assert pragmas[1] == {"D001", "D003"}
+
+    def test_unparseable_source_yields_nothing(self):
+        assert parse_pragmas("def broken(:\n") == {}
+
+
+class TestSplitSuppressed:
+    def test_fixture_findings_fully_suppressed(self):
+        source = (FIXTURES / "pragma_use.py").read_text(encoding="utf-8")
+        findings = check_file(
+            "repro.state.fixture", ast.parse(source), RuleConfig()
+        )
+        assert len(findings) == 2  # both loops trigger D003
+        active, suppressed = split_suppressed(
+            findings, parse_pragmas(source)
+        )
+        assert active == []
+        assert len(suppressed) == 2
+
+    def test_pragma_for_other_code_does_not_suppress(self):
+        source = "for x in {1, 2}:  # repro: allow[D001]\n    pass\n"
+        findings = check_file(
+            "repro.state.fixture", ast.parse(source), RuleConfig()
+        )
+        active, suppressed = split_suppressed(
+            findings, parse_pragmas(source)
+        )
+        assert [f.code for f in active] == ["D003"]
+        assert suppressed == []
